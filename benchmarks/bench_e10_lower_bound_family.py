@@ -1,0 +1,88 @@
+"""E10 — the Section 1.1 tightness family 𝒫 ∪ ℬ (paths + path-with-claw).
+
+The FO predicate "some vertex has degree > 2" distinguishes P_n from the
+path-with-claw B_n, but the witness (the claw) can be n hops from the far
+end — any algorithm needs Ω(n) rounds on this family, so the meta-theorem
+cannot extend to it (its treedepth is Θ(log n), unbounded).
+
+Series: the treedepth of the family grows with n (so no fixed d is a
+valid promise: Algorithm 2 with fixed d correctly *rejects* large members)
+while the generic baseline that does decide the predicate pays linearly
+growing rounds.
+"""
+
+import math
+
+from repro.algebra import compile_formula
+from repro.distributed import build_elimination_tree, gather_decide
+from repro.graph import generators as gen
+from repro.graph import properties as props
+from repro.mso import formulas
+
+from reporting import record_table
+
+SIZES = (8, 16, 32, 64, 128)
+FIXED_D = 3
+
+
+def run_series():
+    rows = []
+    for n in SIZES:
+        g = gen.path_with_claw(n)
+        td_formula = math.ceil(math.log2(n + 1))  # td within +-1 of the path's
+        elim = build_elimination_tree(g, d=FIXED_D)
+        baseline = gather_decide(g, lambda h: props.max_degree(h) > 2)
+        assert baseline.accepted  # the claw exists
+        rows.append(
+            (
+                n,
+                f"~{td_formula}",
+                "accepted" if elim.accepted else "td > d reported",
+                baseline.rounds,
+            )
+        )
+    return rows
+
+
+def test_e10_lower_bound_family(benchmark):
+    rows = run_series()
+    record_table(
+        "E10",
+        f"path+claw family: fixed d={FIXED_D} promise vs baseline rounds",
+        ("path length", "treedepth", f"Algorithm 2 (d={FIXED_D})",
+         "baseline rounds (Θ(n))"),
+        rows,
+    )
+    # Large family members exceed any fixed treedepth promise...
+    assert rows[-1][2] == "td > d reported"
+    # ...and the baseline's rounds grow linearly with n.
+    baseline_rounds = [r[3] for r in rows]
+    assert baseline_rounds[-1] >= 4 * baseline_rounds[0]
+
+    g = gen.path_with_claw(32)
+    benchmark(lambda: gather_decide(g, lambda h: props.max_degree(h) > 2))
+
+
+def test_e10_small_members_still_decidable(benchmark):
+    # On members whose treedepth fits the promise, Theorem 6.1 decides the
+    # degree predicate exactly.
+    from repro.distributed import decide
+
+    automaton = compile_formula(formulas.exists_vertex_of_degree_greater(2), ())
+    g = gen.path_with_claw(6)  # treedepth 4
+    outcome = decide(automaton, g, d=4)
+    assert not outcome.treedepth_exceeded
+    assert outcome.accepted
+    path_only = gen.path(9)
+    outcome2 = decide(automaton, path_only, d=4)
+    assert not outcome2.accepted
+    record_table(
+        "E10",
+        "small members: Theorem 6.1 decides the degree predicate",
+        ("graph", "degree>2 decided", "rounds"),
+        [
+            ("path_with_claw(6)", outcome.accepted, outcome.total_rounds),
+            ("path(9)", outcome2.accepted, outcome2.total_rounds),
+        ],
+    )
+    benchmark(lambda: decide(automaton, g, d=4))

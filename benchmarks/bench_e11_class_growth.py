@@ -1,0 +1,63 @@
+"""E11 — Theorem 4.2's "constant-size" class machinery, measured.
+
+|𝒞| depends on the formula and on the boundary size (= d), not on n.
+Series: reachable homomorphism classes per catalog formula after running
+on graphs of two different sizes at each d — the n-columns must agree,
+while classes may grow with d.
+"""
+
+from repro.algebra import check, compile_formula
+from repro.graph import generators as gen
+from repro.mso import formulas
+from repro.treedepth import best_heuristic_forest
+
+from reporting import record_table
+
+FORMULAS = {
+    "triangle-free (FO)": formulas.triangle_free,
+    "acyclic": formulas.acyclic,
+    "2-colorable": lambda: formulas.k_colorable(2),
+    "connected": formulas.connected,
+    "C4-free": lambda: formulas.h_free(gen.cycle(4)),
+    "perfect matching": formulas.has_perfect_matching,
+}
+
+
+def classes_after(formula, graphs):
+    # Shallow (near-optimal) forests: |C| depends on the boundary size,
+    # so the forest heuristic fixes the d the classes are counted at.
+    automaton = compile_formula(formula, ())
+    sizes = []
+    for g in graphs:
+        check(formula, g, best_heuristic_forest(g), automaton)
+        sizes.append(automaton.num_classes())
+    return sizes
+
+
+def run_series():
+    rows = []
+    for name, factory in FORMULAS.items():
+        for d in (2, 3):
+            small = gen.random_bounded_treedepth(12, d, seed=d)
+            large = gen.random_bounded_treedepth(48, d, seed=d + 100)
+            after_small, after_large = classes_after(factory(), [small, large])
+            rows.append((name, d, after_small, after_large))
+    return rows
+
+
+def test_e11_class_growth(benchmark):
+    rows = run_series()
+    record_table(
+        "E11",
+        "reachable homomorphism classes |C| (grows with d, bounded in n)",
+        ("formula", "d", "|C| after n=12", "|C| after n=12+48"),
+        rows,
+    )
+    # Running on a 4x larger graph may discover a few more reachable
+    # classes but must stay within a constant factor — |C| is a function
+    # of (formula, d) only.
+    for name, d, small, large in rows:
+        assert large <= 3 * small, (name, d, small, large)
+
+    formula = formulas.k_colorable(2)
+    benchmark(lambda: compile_formula(formula, ()))

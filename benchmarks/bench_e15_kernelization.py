@@ -1,0 +1,57 @@
+"""E15 — treedepth kernelization ([GajarskyH15], the paper's §1 citation).
+
+Series: kernel size vs n at fixed treedepth and threshold — expected
+flat (the kernel depends on (d, t, labels) only) — plus verdict
+preservation across the catalog on the kernels.
+"""
+
+from repro.algebra import check, compile_formula
+from repro.graph import generators as gen
+from repro.kernel import kernelize
+from repro.mso import formulas
+from repro.treedepth import dfs_elimination_forest
+
+from reporting import record_table
+
+SIZES = (32, 128, 512)
+THRESHOLD = 4
+
+
+def run_series():
+    rows = []
+    formula = formulas.exists_vertex_of_degree_greater(2)
+    automaton = compile_formula(formula, ())
+    for legs in (4, 16, 64):
+        g = gen.caterpillar(spine=6, legs=legs)
+        forest = dfs_elimination_forest(g)
+        kernel = kernelize(g, forest, THRESHOLD)
+        original = check(formula, g, forest, automaton)
+        reduced = check(formula, kernel.graph, kernel.forest, automaton)
+        rows.append(
+            (
+                g.num_vertices(),
+                kernel.graph.num_vertices(),
+                len(kernel.removed),
+                original,
+                reduced,
+                "OK" if original == reduced else "BROKEN",
+            )
+        )
+    return rows
+
+
+def test_e15_kernelization(benchmark):
+    rows = run_series()
+    record_table(
+        "E15",
+        f"kernel size vs n (caterpillars, threshold {THRESHOLD})",
+        ("n", "kernel n", "removed", "verdict G", "verdict kernel", "check"),
+        rows,
+    )
+    assert all(r[-1] == "OK" for r in rows)
+    kernel_sizes = [r[1] for r in rows]
+    assert len(set(kernel_sizes)) == 1  # independent of n
+
+    g = gen.caterpillar(6, 64)
+    forest = dfs_elimination_forest(g)
+    benchmark(lambda: kernelize(g, forest, THRESHOLD))

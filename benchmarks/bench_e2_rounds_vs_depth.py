@@ -1,0 +1,61 @@
+"""E2 — Lemma 5.1 / Theorem 6.1: rounds grow with d as O(2^{2d}).
+
+Series: paths P_{2^d - 1} (treedepth exactly d) for d = 2..5; total rounds
+of the decision pipeline, and the ratio to 4^d.  Expected shape: rounds
+grow geometrically ~4x per unit of d, with a bounded rounds/4^d ratio —
+the elimination-tree construction dominates, exactly as the paper's
+analysis says.
+"""
+
+from repro.algebra import compile_formula
+from repro.distributed import decide
+from repro.graph import generators as gen
+from repro.mso import formulas
+
+from reporting import record_table
+
+DEPTHS = (2, 3, 4, 5)
+
+
+def run_series():
+    automaton = compile_formula(formulas.acyclic(), ())
+    rows = []
+    previous = None
+    for d in DEPTHS:
+        n = 2 ** d - 1
+        g = gen.path(n)  # td(P_{2^d - 1}) = d
+        outcome = decide(automaton, g, d=d)
+        assert not outcome.treedepth_exceeded and outcome.accepted
+        growth = "" if previous is None else f"x{outcome.total_rounds / previous:.2f}"
+        rows.append(
+            (
+                d,
+                n,
+                outcome.total_rounds,
+                outcome.elimination_rounds,
+                f"{outcome.total_rounds / 4 ** d:.2f}",
+                growth,
+            )
+        )
+        previous = outcome.total_rounds
+    return rows
+
+
+def test_e2_rounds_vs_depth(benchmark):
+    rows = run_series()
+    record_table(
+        "E2",
+        "rounds vs treedepth bound d on P_{2^d-1} (expect ~4x per step)",
+        ("d", "n", "rounds", "tree rounds", "rounds/4^d", "growth"),
+        rows,
+    )
+    # The O(4^d) claim: the normalized ratio stays within a fixed band.
+    ratios = [float(r[4]) for r in rows]
+    assert max(ratios) / min(ratios) < 4.0, ratios
+    # And rounds must actually grow with d.
+    rounds = [r[2] for r in rows]
+    assert all(a < b for a, b in zip(rounds, rounds[1:]))
+
+    automaton = compile_formula(formulas.acyclic(), ())
+    g = gen.path(15)
+    benchmark(lambda: decide(automaton, g, d=4))

@@ -1,0 +1,51 @@
+"""E4 — meta-theorem vs the generic gather-at-every-node baseline.
+
+Series: growing n at fixed d = 3; rounds of the Theorem 6.1 pipeline
+(flat) vs the gather baseline (Θ(m + diam), grows linearly).  Expected
+shape: the baseline wins on tiny graphs (the meta-theorem pays the fixed
+O(2^{2d}) elimination-tree cost), the treedepth algorithm wins from the
+crossover on, by an ever-growing factor.
+"""
+
+from repro.algebra import compile_formula
+from repro.distributed import decide, gather_decide
+from repro.graph import generators as gen
+from repro.graph import properties as props
+from repro.mso import formulas
+
+from reporting import record_table
+
+SIZES = (8, 16, 32, 64, 128, 256)
+
+
+def run_series():
+    automaton = compile_formula(formulas.h_free(gen.triangle()), ())
+    oracle = lambda h: not props.has_subgraph(h, gen.triangle())  # noqa: E731
+    rows = []
+    for n in SIZES:
+        g = gen.random_bounded_treedepth(n, depth=3, seed=7 * n, edge_prob=0.4)
+        ours = decide(automaton, g, d=3)
+        base = gather_decide(g, oracle)
+        assert ours.accepted == base.accepted
+        winner = "treedepth" if ours.total_rounds < base.rounds else "baseline"
+        rows.append((n, g.num_edges(), ours.total_rounds, base.rounds, winner))
+    return rows
+
+
+def test_e4_baseline_crossover(benchmark):
+    rows = run_series()
+    record_table(
+        "E4",
+        "rounds: Theorem 6.1 vs gather baseline (d=3)",
+        ("n", "m", "treedepth alg", "gather baseline", "winner"),
+        rows,
+    )
+    # Shape: ours flat, baseline growing, and ours wins at the top end.
+    ours = [r[2] for r in rows]
+    baseline = [r[3] for r in rows]
+    assert len(set(ours)) == 1
+    assert baseline[-1] > baseline[0]
+    assert ours[-1] < baseline[-1]
+
+    g = gen.random_bounded_treedepth(64, depth=3, seed=7 * 64, edge_prob=0.4)
+    benchmark(lambda: gather_decide(g, lambda h: props.is_acyclic(h)))

@@ -1,0 +1,67 @@
+"""E8 — the certification/decision trade-off (PODC'22 baseline vs Thm 6.1).
+
+Series: growing n at fixed treedepth; certificate size in bits (expected
+Θ(log n) growth for fixed depth), verification rounds (constant ~1), and
+the decision protocol's rounds (constant in n but much larger than 1) with
+its per-message bits (O(log |𝒞|), much smaller than a certificate).
+"""
+
+import math
+
+from repro.algebra import compile_formula
+from repro.certification import prove, verify
+from repro.distributed import decide
+from repro.graph import generators as gen
+from repro.mso import formulas
+
+from reporting import record_table
+
+SIZES = (16, 64, 256, 1024)
+
+
+def run_series():
+    automaton = compile_formula(formulas.acyclic(), ())
+    rows = []
+    for n in SIZES:
+        # Fixed spine (treedepth stays ~4); n grows via the legs.
+        g = gen.caterpillar(spine=7, legs=max(1, n // 7 - 1))
+        instance = prove(g, automaton)
+        audit = verify(g, automaton, instance)
+        assert audit.accepted
+        decision_automaton = compile_formula(formulas.acyclic(), ())
+        decision = decide(decision_automaton, g, d=4)
+        assert decision.accepted
+        rows.append(
+            (
+                g.num_vertices(),
+                instance.max_certificate_bits,
+                f"{instance.max_certificate_bits / math.log2(g.num_vertices()):.1f}",
+                audit.rounds,
+                decision.total_rounds,
+                decision.max_message_bits,
+            )
+        )
+    return rows
+
+
+def test_e8_certification_tradeoff(benchmark):
+    rows = run_series()
+    record_table(
+        "E8",
+        "certification (1 round, big certificates) vs decision "
+        "(many rounds, tiny messages)",
+        ("n", "cert bits", "cert bits / log2 n", "verify rounds",
+         "decision rounds", "decision max msg bits"),
+        rows,
+    )
+    # Certificates grow sublinearly (Θ(log n) for fixed depth).
+    bits = [r[1] for r in rows]
+    ns = [r[0] for r in rows]
+    assert bits[-1] / bits[0] < (ns[-1] / ns[0]) / 4
+    # Verification is always a couple of rounds; decision is much larger.
+    assert all(r[3] <= 2 for r in rows)
+    assert all(r[4] > 10 * r[3] for r in rows)
+
+    automaton = compile_formula(formulas.acyclic(), ())
+    g = gen.caterpillar(16, 3)
+    benchmark(lambda: verify(g, automaton, prove(g, automaton)))

@@ -1,0 +1,70 @@
+"""E9 — the Section 2 quantitative facts about treedepth.
+
+Series A: td(P_n) = ceil(log2(n+1)) (the paper's running example),
+computed with the exact solver.
+Series B: Lemma 2.5 — any elimination tree that is a subgraph of G (here:
+the DFS forest, and Algorithm 2's distributed tree) has depth <= 2^{td}.
+Expected shape: equality in A; the B ratios depth/2^td stay <= 1.
+"""
+
+import math
+
+from repro.distributed import build_elimination_tree
+from repro.graph import generators as gen
+from repro.treedepth import dfs_elimination_forest, treedepth
+
+from reporting import record_table
+
+
+def run_paths():
+    rows = []
+    for n in (1, 2, 3, 7, 8, 15, 16):
+        td = treedepth(gen.path(n))
+        expected = math.ceil(math.log2(n + 1))
+        rows.append((n, td, expected, "OK" if td == expected else "BAD"))
+    return rows
+
+
+def run_lemma25():
+    rows = []
+    for seed in range(4):
+        g = gen.random_bounded_treedepth(13, 3, seed=seed)
+        td = treedepth(g)
+        dfs_depth = dfs_elimination_forest(g).depth()
+        distributed = build_elimination_tree(g, d=td)
+        assert distributed.accepted and distributed.forest is not None
+        alg2_depth = distributed.forest.depth()
+        rows.append(
+            (
+                f"random td<=3 #{seed}",
+                td,
+                dfs_depth,
+                alg2_depth,
+                2 ** td,
+                "OK" if max(dfs_depth, alg2_depth) <= 2 ** td else "VIOLATED",
+            )
+        )
+    return rows
+
+
+def test_e9_treedepth_bounds(benchmark):
+    paths = run_paths()
+    record_table(
+        "E9",
+        "td(P_n) vs ceil(log2(n+1))",
+        ("n", "exact td", "formula", "verdict"),
+        paths,
+    )
+    assert all(r[-1] == "OK" for r in paths)
+
+    lemma = run_lemma25()
+    record_table(
+        "E9",
+        "Lemma 2.5: subgraph elimination trees have depth <= 2^td",
+        ("graph", "td", "DFS depth", "Algorithm 2 depth", "2^td", "verdict"),
+        lemma,
+    )
+    assert all(r[-1] == "OK" for r in lemma)
+
+    g = gen.path(15)
+    benchmark(lambda: treedepth(g))

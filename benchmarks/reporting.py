@@ -1,0 +1,48 @@
+"""Shared reporting for the benchmark harness.
+
+Each experiment records a titled table of rows; ``conftest.py`` prints all
+recorded tables in the terminal summary (after pytest's capture ends) and
+mirrors them to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md
+can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence, Tuple
+
+_SERIES: List[Tuple[str, List[str]]] = []
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_table(
+    experiment: str,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Record a table for terminal summary + results file."""
+    lines = [" | ".join(str(h) for h in header)]
+    lines.append("-+-".join("-" * len(str(h)) for h in header))
+    for row in rows:
+        lines.append(" | ".join(str(cell) for cell in row))
+    _SERIES.append((f"{experiment}: {title}", lines))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment.lower().replace(' ', '_')}.txt")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"== {title} ==\n")
+        handle.write("\n".join(lines))
+        handle.write("\n\n")
+
+
+def recorded_series() -> List[Tuple[str, List[str]]]:
+    return list(_SERIES)
+
+
+def reset_results() -> None:
+    """Truncate old result files at session start (idempotent runs)."""
+    if os.path.isdir(RESULTS_DIR):
+        for name in os.listdir(RESULTS_DIR):
+            if name.endswith(".txt"):
+                os.remove(os.path.join(RESULTS_DIR, name))

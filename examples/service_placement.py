@@ -1,0 +1,77 @@
+"""Service placement: distributed minimum-weight dominating set.
+
+Scenario: a corporate WAN is organized hierarchically (headquarters,
+regional hubs, branch offices) — a topology of small treedepth.  We want
+every site to either host a monitoring service or neighbor a site that
+does, while minimizing total hosting cost.  That is min-φ for the MSO
+predicate "S is a dominating set" with vertex weights — exactly the
+optimization variant of Theorem 6.1, solved in a constant number of
+CONGEST rounds, with every site learning locally whether it hosts.
+
+Run:  python examples/service_placement.py
+"""
+
+import random
+
+from repro.algebra import compile_formula
+from repro.distributed import optimize_distributed
+from repro.graph import Graph
+from repro.graph.properties import is_dominating_set, min_dominating_set
+from repro.mso import formulas, vertex_set
+
+
+def build_wan(regions: int, branches_per_region: int, seed: int = 7) -> Graph:
+    """Headquarters 0; hubs 1..regions; branches below each hub.
+
+    Every branch links to its hub; some branches also get a direct line to
+    headquarters (redundancy) — all edges stay on the hierarchy's root
+    paths, keeping treedepth at 3.
+    """
+    rng = random.Random(seed)
+    g = Graph([0])
+    g.set_vertex_weight(0, 1)  # HQ hosts cheaply
+    next_id = 1
+    for _ in range(regions):
+        hub = next_id
+        next_id += 1
+        g.add_edge(0, hub)
+        g.set_vertex_weight(hub, rng.randint(2, 4))
+        for _ in range(branches_per_region):
+            branch = next_id
+            next_id += 1
+            g.add_edge(hub, branch)
+            g.set_vertex_weight(branch, rng.randint(5, 9))
+            if rng.random() < 0.3:
+                g.add_edge(0, branch)  # redundant uplink to HQ
+    return g
+
+
+def main() -> None:
+    wan = build_wan(regions=3, branches_per_region=4)
+    print(f"WAN: {wan.num_vertices()} sites, {wan.num_edges()} links, "
+          f"treedepth <= 3 (HQ / hub / branch hierarchy)")
+
+    s = vertex_set("S")
+    predicate = formulas.dominating_set(s)
+    automaton = compile_formula(predicate, (s,))
+
+    outcome = optimize_distributed(automaton, wan, d=3, maximize=False)
+    assert outcome.feasible
+    print(f"optimal hosting cost: {outcome.value}")
+    print(f"hosting sites:        {sorted(outcome.witness)}")
+    print(f"rounds:               {outcome.total_rounds} "
+          f"(tree: {outcome.elimination_rounds}, tables: {outcome.optimization_rounds})")
+    print(f"classes on wires:     {outcome.num_classes}")
+
+    # Sanity: the selection is a dominating set and matches brute force.
+    assert is_dominating_set(wan, outcome.witness)
+    if wan.num_vertices() <= 18:
+        best, _ = min_dominating_set(wan, weight=wan.vertex_weight)
+        assert outcome.value == best
+        print(f"verified against brute force: cost {best}")
+    else:
+        print("(network too large for the brute-force cross-check)")
+
+
+if __name__ == "__main__":
+    main()

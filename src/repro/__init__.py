@@ -1,0 +1,37 @@
+"""repro — Distributed MSO model checking on graphs of bounded treedepth.
+
+A full reproduction of "Brief Announcement: Distributed Model Checking on
+Graphs of Bounded Treedepth" (Fomin, Fraigniaud, Montealegre, Rapaport,
+Todinca; PODC 2024).
+
+Subpackages
+-----------
+``repro.graph``
+    Simple labeled weighted graphs, generators, and brute-force oracles.
+``repro.treedepth``
+    Elimination forests, exact/heuristic treedepth, tree decompositions.
+``repro.mso``
+    MSO₂ formulas: AST, parser, brute-force semantics, formula catalog.
+``repro.algebra``
+    The treedepth algebra and the Courcelle engine (homomorphism classes,
+    OPT/COUNT tables, sequential Algorithm 1).
+``repro.congest``
+    Round-synchronous CONGEST simulator with strict message accounting.
+``repro.distributed``
+    The paper's distributed protocols (Algorithm 2, Theorem 6.1, §6, §7).
+``repro.certification``
+    The PODC'22 certification baseline (prover/verifier).
+``repro.expansion``
+    Low-treedepth decompositions and Corollary 7.3 on bounded expansion.
+``repro.kernel``
+    Gajarský–Hliněný subtree types and kernelization (the §1 citation).
+``repro.cli``
+    The ``python -m repro`` command-line interface.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+from .graph import Graph
+
+__all__ = ["Graph", "errors", "__version__"]

@@ -1,0 +1,53 @@
+"""The treedepth algebra and the Courcelle engine (paper Sections 3-4)."""
+
+from .automata import (
+    AllVerticesInAutomaton,
+    ComplementAutomaton,
+    ConstAutomaton,
+    ContainsPatternAutomaton,
+    GraphDegreesAutomaton,
+    EdgeWitnessAutomaton,
+    EndpointsInAutomaton,
+    HasLabelAutomaton,
+    IncCountsAutomaton,
+    IntersectsAutomaton,
+    NonEmptyAutomaton,
+    ProductAutomaton,
+    ProjectionAutomaton,
+    SingletonAutomaton,
+    State,
+    SubsetAutomaton,
+    TreeAutomaton,
+    extend_symbol,
+)
+from .compiler import compile_formula, compile_with_singletons
+from .engine import (
+    OptimizationResult,
+    check,
+    check_assignment,
+    count,
+    optimize,
+    run_states,
+)
+from .symbols import (
+    BaseStructure,
+    BaseSymbol,
+    SymbolChoice,
+    base_structure,
+    enumerate_symbol_choices,
+    owned_items,
+    symbol_for_assignment,
+)
+
+__all__ = [
+    "AllVerticesInAutomaton", "ContainsPatternAutomaton",
+    "GraphDegreesAutomaton", "compile_with_singletons",
+    "BaseStructure", "BaseSymbol", "ComplementAutomaton", "ConstAutomaton",
+    "EdgeWitnessAutomaton", "EndpointsInAutomaton", "HasLabelAutomaton",
+    "IncCountsAutomaton", "IntersectsAutomaton", "NonEmptyAutomaton",
+    "OptimizationResult", "ProductAutomaton", "ProjectionAutomaton",
+    "SingletonAutomaton", "State", "SubsetAutomaton", "SymbolChoice",
+    "TreeAutomaton", "base_structure", "check", "check_assignment",
+    "compile_formula", "count", "enumerate_symbol_choices", "extend_symbol",
+    "optimize", "owned_items", "run_states", "symbol_for_assignment",
+]

@@ -1,0 +1,182 @@
+"""Compile MSO formulas into tree automata (Theorem 4.2, constructive).
+
+The compilation is by structural induction, exactly the Borie-Parker-Tovey
+recipe instantiated on the treedepth algebra:
+
+* atoms           → hand-written scan / pending automata,
+* ∧ / ∨           → product automata,
+* ¬               → complement (sound: every automaton is deterministic),
+* ∃X (set sort)   → projection + lazy subset construction,
+* ∃x (element)    → projection of (body ∧ "the guessed set is a singleton"),
+* ∀ (either sort) → ¬∃¬.
+
+The resulting automaton's interned states are the homomorphism classes 𝒞;
+its transitions are the update functions ⊙_f; ``accepts`` marks the
+accepting classes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import FormulaError
+from ..mso import syntax as sx
+from .automata import (
+    AllEdgesInAutomaton,
+    AllVerticesInAutomaton,
+    CliqueAutomaton,
+    ComplementAutomaton,
+    ConstAutomaton,
+    ContainsPatternAutomaton,
+    EdgeWitnessAutomaton,
+    EndpointsInAutomaton,
+    GraphDegreesAutomaton,
+    HasLabelAutomaton,
+    IncCountsAutomaton,
+    IncParityAutomaton,
+    IntersectsAutomaton,
+    NonEmptyAutomaton,
+    ProductAutomaton,
+    ProjectionAutomaton,
+    SingletonAutomaton,
+    SubsetAutomaton,
+    TreeAutomaton,
+)
+
+
+def compile_formula(
+    formula: sx.Formula, scope: Sequence[sx.Var] = ()
+) -> TreeAutomaton:
+    """Compile ``formula`` (free variables exactly ``scope``) to an automaton.
+
+    ``scope`` fixes the order of the free variables: membership bits on
+    Base symbols are indexed by position in this tuple.
+    """
+    from ..mso.transform import simplify
+
+    scope = tuple(scope)
+    sx.validate(formula, allowed_free=scope)
+    return _compile(simplify(formula), scope)
+
+
+def compile_with_singletons(
+    formula: sx.Formula, scope: Sequence[sx.Var]
+) -> TreeAutomaton:
+    """Like :func:`compile_formula`, but element-sorted free variables are
+    constrained to be singletons.
+
+    This is the automaton for counting runs (Section 6): free vertex/edge
+    variables must range over single items, not sets.
+    """
+    scope = tuple(scope)
+    base = compile_formula(formula, scope)
+    singletons = [
+        SingletonAutomaton(scope, i)
+        for i, var in enumerate(scope)
+        if not var.sort.is_set
+    ]
+    if not singletons:
+        return base
+    return ProductAutomaton(scope, [base] + singletons, conjunctive=True)
+
+
+def _index(scope: Tuple[sx.Var, ...], var: sx.Var) -> int:
+    try:
+        return scope.index(var)
+    except ValueError:
+        raise FormulaError(f"variable {var} escaped its scope") from None
+
+
+def _compile(f: sx.Formula, scope: Tuple[sx.Var, ...]) -> TreeAutomaton:
+    if isinstance(f, sx.Truth):
+        return ConstAutomaton(scope, f.value)
+    if isinstance(f, sx.Adj):
+        return EdgeWitnessAutomaton(
+            scope, x=_index(scope, f.x), y=_index(scope, f.y)
+        )
+    if isinstance(f, sx.Inc):
+        return EdgeWitnessAutomaton(
+            scope, x=_index(scope, f.x), y=None, edge_filter=_index(scope, f.e)
+        )
+    if isinstance(f, sx.EdgeCross):
+        return EdgeWitnessAutomaton(
+            scope,
+            x=_index(scope, f.x),
+            y=_index(scope, f.y) if f.y is not None else None,
+            edge_filter=_index(scope, f.e),
+        )
+    if isinstance(f, sx.Eq):
+        # Element variables are singleton sets: equality ⇔ intersection.
+        return IntersectsAutomaton(scope, _index(scope, f.x), _index(scope, f.y))
+    if isinstance(f, sx.In):
+        # x is a singleton: x ∈ S ⇔ {x} ∩ S ≠ ∅.
+        return IntersectsAutomaton(scope, _index(scope, f.x), _index(scope, f.s))
+    if isinstance(f, sx.Subset):
+        return SubsetAutomaton(
+            scope, _index(scope, f.a), [_index(scope, b) for b in f.bs]
+        )
+    if isinstance(f, sx.SetsIntersect):
+        return IntersectsAutomaton(scope, _index(scope, f.a), _index(scope, f.b))
+    if isinstance(f, sx.AllVerticesIn):
+        return AllVerticesInAutomaton(scope, [_index(scope, b) for b in f.bs])
+    if isinstance(f, sx.ContainsPattern):
+        return ContainsPatternAutomaton(scope, f.num_vertices, f.edges, f.induced)
+    if isinstance(f, sx.GraphDegrees):
+        return GraphDegreesAutomaton(scope, f.allowed, f.cap)
+    if isinstance(f, sx.NonEmpty):
+        return NonEmptyAutomaton(scope, _index(scope, f.a))
+    if isinstance(f, sx.HasLabel):
+        return HasLabelAutomaton(scope, _index(scope, f.a), f.label, universal=False)
+    if isinstance(f, sx.AllHaveLabel):
+        return HasLabelAutomaton(scope, _index(scope, f.a), f.label, universal=True)
+    if isinstance(f, sx.IncCounts):
+        return IncCountsAutomaton(
+            scope,
+            e=_index(scope, f.e),
+            allowed=f.allowed,
+            within=_index(scope, f.within) if f.within is not None else None,
+            cap=f.cap,
+        )
+    if isinstance(f, sx.IncParity):
+        return IncParityAutomaton(
+            scope,
+            e=_index(scope, f.e),
+            even=f.even,
+            within=_index(scope, f.within) if f.within is not None else None,
+        )
+    if isinstance(f, sx.AllEdgesIn):
+        return AllEdgesInAutomaton(scope, [_index(scope, b) for b in f.bs])
+    if isinstance(f, sx.IsClique):
+        return CliqueAutomaton(scope, _index(scope, f.x))
+    if isinstance(f, sx.EndpointsIn):
+        return EndpointsInAutomaton(scope, _index(scope, f.e), _index(scope, f.x))
+    if isinstance(f, sx.Not):
+        return ComplementAutomaton(scope, _compile(f.inner, scope))
+    if isinstance(f, sx.And):
+        return ProductAutomaton(
+            scope, [_compile(p, scope) for p in f.parts], conjunctive=True
+        )
+    if isinstance(f, sx.Or):
+        return ProductAutomaton(
+            scope, [_compile(p, scope) for p in f.parts], conjunctive=False
+        )
+    if isinstance(f, sx.Exists):
+        return _compile_exists(f.var, f.body, scope)
+    if isinstance(f, sx.Forall):
+        # ∀v φ  ≡  ¬∃v ¬φ.
+        rewritten = sx.Not(sx.Exists(f.var, sx.Not(f.body)))
+        return _compile(rewritten, scope)
+    raise FormulaError(f"unknown formula node {f!r}")
+
+
+def _compile_exists(
+    var: sx.Var, body: sx.Formula, scope: Tuple[sx.Var, ...]
+) -> TreeAutomaton:
+    inner_scope = scope + (var,)
+    inner = _compile(body, inner_scope)
+    if not var.sort.is_set:
+        # Element quantification: the guessed set must contain exactly one
+        # item of the right kind.
+        singleton = SingletonAutomaton(inner_scope, len(scope))
+        inner = ProductAutomaton(inner_scope, [inner, singleton], conjunctive=True)
+    return ProjectionAutomaton(inner, var)

@@ -1,0 +1,216 @@
+"""Symbols of the treedepth algebra (paper Section 3, specialized).
+
+The canonical tree decomposition of Lemma 2.4 makes the elimination tree
+itself the decomposition tree: the bag of vertex v is its root path.  We
+evaluate formulas by a single bottom-up sweep in which the w-terminal graph
+``G_v`` of the paper (the subgraph hanging below v, with the root path as
+terminals) is assembled from three operation kinds:
+
+* ``Base_v`` — a leaf symbol introducing vertex v together with the edges
+  from v to its ancestors (paper: the base graph G^base and the gluing
+  f_(B_v, B_parent) of Eq. (1), fused);
+* ``Glue``  — identity gluing of two graphs with the same boundary
+  (paper: f_(B_u, B_u) of Eq. (2));
+* ``Forget`` — the deepest terminal becomes interior (paper: implicit in
+  moving from G_v with terminals B_v to a child graph of the parent).
+
+**Single-owner encoding.**  Every vertex v is *owned* by its own tree node;
+every edge {u, v} (v the deeper endpoint) is owned by v.  The Base_v symbol
+is the one and only place where v's free-variable membership bits, labels
+and weight — and those of v's ancestor edges — enter the run.  This removes
+the double-counting correction the paper needs in Eq. (4).
+
+Boundary positions are 1-based depths along the root path; the automaton
+state space never mentions vertex identifiers, only positions — that is
+what makes states the paper's *homomorphism classes* (Definition 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from ..graph import Graph, Vertex, canonical_edge
+from ..mso.syntax import Var
+from ..treedepth import EliminationForest
+
+
+@dataclass(frozen=True)
+class BaseStructure:
+    """The assignment-independent part of a Base symbol.
+
+    ``anc_edges`` lists the boundary positions (1-based depths) of the
+    ancestors adjacent to the owned vertex; ``elabels`` gives each such
+    edge's labels.
+    """
+
+    depth: int
+    anc_edges: Tuple[int, ...]
+    vlabels: FrozenSet[str]
+    elabels: Tuple[Tuple[int, FrozenSet[str]], ...]
+
+    def edge_labels_at(self, position: int) -> FrozenSet[str]:
+        for pos, labels in self.elabels:
+            if pos == position:
+                return labels
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class BaseSymbol:
+    """A Base symbol: structure plus free-variable membership bits.
+
+    ``vbits`` holds scope indices of the variables containing the owned
+    vertex; ``ebits`` maps each ancestor-edge position to the scope indices
+    of the variables containing that edge.
+    """
+
+    structure: BaseStructure
+    vbits: FrozenSet[int]
+    ebits: Tuple[Tuple[int, FrozenSet[int]], ...]
+
+    @property
+    def depth(self) -> int:
+        return self.structure.depth
+
+    @property
+    def anc_edges(self) -> Tuple[int, ...]:
+        return self.structure.anc_edges
+
+    def edge_bits_at(self, position: int) -> FrozenSet[int]:
+        for pos, bits in self.ebits:
+            if pos == position:
+                return bits
+        return frozenset()
+
+
+def base_structure(graph: Graph, forest: EliminationForest, v: Vertex) -> BaseStructure:
+    """The Base structure of vertex ``v`` under ``forest``."""
+    path = forest.root_path(v)
+    depth = len(path)
+    positions: List[int] = []
+    elabels: List[Tuple[int, FrozenSet[str]]] = []
+    for j, ancestor in enumerate(path[:-1], start=1):
+        if graph.has_edge(ancestor, v):
+            positions.append(j)
+            elabels.append((j, graph.edge_labels(ancestor, v)))
+    return BaseStructure(
+        depth=depth,
+        anc_edges=tuple(positions),
+        vlabels=graph.vertex_labels(v),
+        elabels=tuple(elabels),
+    )
+
+
+def owned_items(
+    graph: Graph, forest: EliminationForest, v: Vertex
+) -> Tuple[Vertex, List[Tuple[int, Tuple[Vertex, Vertex]]]]:
+    """The items owned by v's Base symbol: v itself, and (position, edge)
+    for each edge from v to an ancestor."""
+    path = forest.root_path(v)
+    edges = [
+        (j, canonical_edge(ancestor, v))
+        for j, ancestor in enumerate(path[:-1], start=1)
+        if graph.has_edge(ancestor, v)
+    ]
+    return v, edges
+
+
+def symbol_for_assignment(
+    structure: BaseStructure,
+    scope: Sequence[Var],
+    owned_vertex: Vertex,
+    owned_edges: Sequence[Tuple[int, Tuple[Vertex, Vertex]]],
+    assignment: Dict[Var, object],
+) -> BaseSymbol:
+    """Build the Base symbol for a *fixed* assignment of the scope variables.
+
+    Element-variable values are treated as singleton sets.
+    """
+    vbits = frozenset(
+        i
+        for i, var in enumerate(scope)
+        if var.sort.is_vertex_kind and owned_vertex in _as_set(assignment[var])
+    )
+    ebits = tuple(
+        (
+            pos,
+            frozenset(
+                i
+                for i, var in enumerate(scope)
+                if not var.sort.is_vertex_kind and edge in _as_set(assignment[var])
+            ),
+        )
+        for pos, edge in owned_edges
+    )
+    return BaseSymbol(structure=structure, vbits=vbits, ebits=ebits)
+
+
+def _as_set(value: object) -> FrozenSet[object]:
+    if isinstance(value, frozenset):
+        return value
+    return frozenset({value})
+
+
+@dataclass(frozen=True)
+class SymbolChoice:
+    """One possible bit assignment at a Base symbol, with the items chosen.
+
+    ``chosen`` maps each scope index to the tuple of items (the vertex
+    and/or edges owned here) that the choice puts into that variable.
+    """
+
+    symbol: BaseSymbol
+    chosen: Tuple[Tuple[object, ...], ...]
+
+
+def enumerate_symbol_choices(
+    structure: BaseStructure,
+    scope: Sequence[Var],
+    owned_vertex: Vertex,
+    owned_edges: Sequence[Tuple[int, Tuple[Vertex, Vertex]]],
+) -> Iterator[SymbolChoice]:
+    """Enumerate every way the scope variables can intersect the owned items.
+
+    Used by the optimization and counting runs (Lemma 4.6, Section 6),
+    where the free variables are not fixed in advance: each choice of bits
+    corresponds to one partial assignment restricted to this node, and the
+    single-owner encoding guarantees that combining choices across nodes
+    enumerates every global assignment exactly once.
+    """
+    vertex_vars = [i for i, var in enumerate(scope) if var.sort.is_vertex_kind]
+    edge_vars = [i for i, var in enumerate(scope) if not var.sort.is_vertex_kind]
+    edge_positions = [pos for pos, _ in owned_edges]
+    edges_by_pos = dict(owned_edges)
+
+    for vchoice in _subsets_of(vertex_vars):
+        for echoices in product(*(_subsets_list(edge_vars) for _ in edge_positions)):
+            ebits = tuple(
+                (pos, frozenset(bits))
+                for pos, bits in zip(edge_positions, echoices)
+            )
+            chosen: List[Tuple[object, ...]] = []
+            for i in range(len(scope)):
+                items: List[object] = []
+                if i in vchoice:
+                    items.append(owned_vertex)
+                for pos, bits in ebits:
+                    if i in bits:
+                        items.append(edges_by_pos[pos])
+                chosen.append(tuple(items))
+            yield SymbolChoice(
+                symbol=BaseSymbol(
+                    structure=structure, vbits=frozenset(vchoice), ebits=ebits
+                ),
+                chosen=tuple(chosen),
+            )
+
+
+def _subsets_of(items: List[int]) -> Iterator[FrozenSet[int]]:
+    for mask in range(1 << len(items)):
+        yield frozenset(items[i] for i in range(len(items)) if mask >> i & 1)
+
+
+def _subsets_list(items: List[int]) -> List[FrozenSet[int]]:
+    return list(_subsets_of(items))

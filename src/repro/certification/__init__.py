@@ -1,0 +1,19 @@
+"""Distributed certification baseline (Bousquet-Feuilloley-Pierron style)."""
+
+from .scheme import (
+    Certificate,
+    CertifiedInstance,
+    VerificationResult,
+    prove,
+    verifier_program,
+    verify,
+)
+
+__all__ = [
+    "Certificate",
+    "CertifiedInstance",
+    "VerificationResult",
+    "prove",
+    "verifier_program",
+    "verify",
+]

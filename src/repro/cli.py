@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``check``     decide a closed MSO formula on a graph (sequential or CONGEST)
+``optimize``  solve max-φ / min-φ for a formula with one free set variable
+``count``     count satisfying assignments of free variables
+``treedepth`` compute exact or heuristic treedepth / elimination forests
+``certify``   produce and verify certification (proof labeling)
+``catalog``   list the built-in formula catalog
+
+Graphs are given either as a generator spec (``path:20``, ``cycle:8``,
+``grid:4x6``, ``clique:5``, ``star:7``, ``bounded:24:3:0.5:42`` for
+(n, depth, edge-prob, seed)) or as ``file:PATH`` in the
+:mod:`repro.graph.io` text format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .algebra import compile_formula, compile_with_singletons
+from .algebra import check as sequential_check
+from .algebra import count as sequential_count
+from .algebra import optimize as sequential_optimize
+from .certification import prove, verify
+from .distributed import count_distributed, decide, optimize_distributed
+from .errors import ReproError
+from .graph import Graph, generators
+from .graph.io import read_graph
+from .mso import Sort, Var, formulas, parse
+from .treedepth import (
+    best_heuristic_forest,
+    dfs_elimination_forest,
+    treedepth,
+    treedepth_lower_bound,
+)
+
+_SORTS = {"V": Sort.VERTEX, "E": Sort.EDGE, "VS": Sort.VERTEX_SET, "ES": Sort.EDGE_SET}
+
+_CATALOG = {
+    "triangle-free": lambda: formulas.triangle_free(),
+    "acyclic": lambda: formulas.acyclic(),
+    "connected": lambda: formulas.connected(),
+    "2-colorable": lambda: formulas.k_colorable(2),
+    "3-colorable": lambda: formulas.k_colorable(3),
+    "non-3-colorable": lambda: formulas.not_k_colorable(3),
+    "hamiltonian": lambda: formulas.hamiltonian_cycle_exists(),
+    "perfect-matching": lambda: formulas.has_perfect_matching(),
+    "c4-free": lambda: formulas.h_free(generators.cycle(4)),
+    "claw-free": lambda: formulas.h_free(generators.claw()),
+    "edge-3-colorable": lambda: formulas.edge_k_colorable(3),
+    "two-clique-cover": lambda: formulas.partition_into_k_cliques(2),
+    "has-even-subgraph": lambda: formulas.has_even_subgraph(),
+    "has-cubic-subgraph": lambda: formulas.has_cubic_subgraph(),
+}
+
+_OPT_CATALOG = {
+    "independent-set": (formulas.independent_set, "VS", True),
+    "vertex-cover": (formulas.vertex_cover, "VS", False),
+    "dominating-set": (formulas.dominating_set, "VS", False),
+    "feedback-vertex-set": (formulas.feedback_vertex_set, "VS", False),
+    "matching": (formulas.matching, "ES", True),
+    "spanning-tree": (formulas.spanning_tree, "ES", False),
+    "clique": (formulas.max_clique_set, "VS", True),
+    "induced-forest": (formulas.induced_forest, "VS", True),
+}
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Turn a generator spec or ``file:PATH`` into a graph."""
+    kind, _, rest = spec.partition(":")
+    args = rest.split(":") if rest else []
+    try:
+        if kind == "file":
+            with open(rest, encoding="utf-8") as handle:
+                return read_graph(handle)
+        if kind == "path":
+            return generators.path(int(args[0]))
+        if kind == "cycle":
+            return generators.cycle(int(args[0]))
+        if kind == "clique":
+            return generators.clique(int(args[0]))
+        if kind == "star":
+            return generators.star(int(args[0]))
+        if kind == "caterpillar":
+            return generators.caterpillar(int(args[0]), int(args[1]))
+        if kind == "grid":
+            rows, cols = args[0].split("x")
+            return generators.grid(int(rows), int(cols))
+        if kind == "bounded":
+            n = int(args[0])
+            depth = int(args[1])
+            prob = float(args[2]) if len(args) > 2 else 0.5
+            seed = int(args[3]) if len(args) > 3 else 0
+            return generators.random_bounded_treedepth(n, depth, prob, seed)
+    except (IndexError, ValueError) as exc:
+        raise ReproError(f"malformed graph spec {spec!r}: {exc}") from exc
+    raise ReproError(
+        f"unknown graph spec {spec!r} (try path:N, cycle:N, grid:RxC, "
+        "clique:N, star:N, caterpillar:S:L, bounded:N:D[:P[:SEED]], file:PATH)"
+    )
+
+
+def _resolve_formula(args: argparse.Namespace):
+    if args.catalog:
+        if args.catalog not in _CATALOG:
+            raise ReproError(
+                f"unknown catalog formula {args.catalog!r}; run 'catalog'"
+            )
+        return _CATALOG[args.catalog]()
+    if args.formula:
+        free = {}
+        for decl in args.free or []:
+            name, _, sort = decl.partition(":")
+            if sort not in _SORTS:
+                raise ReproError(f"free variable {decl!r} needs a sort V/E/VS/ES")
+            free[name] = _SORTS[sort]
+        return parse(args.formula, free=free)
+    raise ReproError("provide --catalog NAME or --formula TEXT")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    formula = _resolve_formula(args)
+    automaton = compile_formula(formula, ())
+    if args.congest:
+        outcome = decide(automaton, graph, d=args.d)
+        if outcome.treedepth_exceeded:
+            print(f"treedepth exceeded: td(G) > {args.d}")
+            return 2
+        print(f"result: {outcome.accepted}")
+        print(f"rounds: {outcome.total_rounds} "
+              f"(tree {outcome.elimination_rounds} + check {outcome.checking_rounds})")
+        print(f"max message bits: {outcome.max_message_bits}")
+        print(f"classes: {outcome.num_classes}")
+        return 0 if outcome.accepted else 1
+    forest = best_heuristic_forest(graph)
+    verdict = sequential_check(formula, graph, forest, automaton)
+    print(f"result: {verdict}")
+    print(f"classes: {automaton.num_classes()}")
+    return 0 if verdict else 1
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    if args.problem not in _OPT_CATALOG:
+        raise ReproError(
+            f"unknown problem {args.problem!r}; choose from {sorted(_OPT_CATALOG)}"
+        )
+    factory, sort_name, default_maximize = _OPT_CATALOG[args.problem]
+    maximize = default_maximize if args.direction == "auto" else args.direction == "max"
+    var = Var("S", _SORTS[sort_name])
+    formula = factory(var)
+    automaton = compile_formula(formula, (var,))
+    if args.congest:
+        outcome = optimize_distributed(automaton, graph, d=args.d, maximize=maximize)
+        if outcome.treedepth_exceeded:
+            print(f"treedepth exceeded: td(G) > {args.d}")
+            return 2
+        if not outcome.feasible:
+            print("infeasible")
+            return 1
+        print(f"optimum: {outcome.value}")
+        print(f"witness: {sorted(outcome.witness)}")
+        print(f"rounds: {outcome.total_rounds}")
+        return 0
+    forest = best_heuristic_forest(graph)
+    result = sequential_optimize(formula, graph, forest, var, maximize=maximize,
+                                 automaton=automaton)
+    if result is None:
+        print("infeasible")
+        return 1
+    print(f"optimum: {result.value}")
+    print(f"witness: {sorted(result.witness)}")
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    if args.triangles:
+        formula, variables = formulas.triangle_assignment()
+        automaton = compile_with_singletons(formula, variables)
+        if args.congest:
+            outcome = count_distributed(automaton, graph, d=args.d)
+            if outcome.treedepth_exceeded:
+                print(f"treedepth exceeded: td(G) > {args.d}")
+                return 2
+            print(f"triangles: {outcome.count // 6}")
+            print(f"rounds: {outcome.total_rounds}")
+            return 0
+        forest = best_heuristic_forest(graph)
+        total = sequential_count(formula, graph, forest, variables, automaton)
+        print(f"triangles: {total // 6}")
+        return 0
+    raise ReproError("count currently exposes --triangles")
+
+
+def _cmd_treedepth(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    if args.exact:
+        if graph.num_vertices() > 18:
+            raise ReproError("exact treedepth is exponential; use <= 18 vertices")
+        print(f"treedepth: {treedepth(graph)}")
+    else:
+        forest = best_heuristic_forest(graph)
+        dfs = dfs_elimination_forest(graph)
+        print(f"lower bound:      {treedepth_lower_bound(graph)}")
+        print(f"heuristic depth:  {forest.depth()}")
+        print(f"DFS forest depth: {dfs.depth()}")
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    formula = _resolve_formula(args)
+    automaton = compile_formula(formula, ())
+    instance = prove(graph, automaton)
+    audit = verify(graph, automaton, instance)
+    print(f"certificates: max {instance.max_certificate_bits} bits, "
+          f"{instance.codec.num_classes} classes")
+    print(f"verification: accepted={audit.accepted} in {audit.rounds} rounds")
+    return 0 if audit.accepted else 1
+
+
+def _cmd_catalog(_args: argparse.Namespace) -> int:
+    print("decision formulas:")
+    for name in sorted(_CATALOG):
+        print(f"  {name}")
+    print("optimization problems:")
+    for name in sorted(_OPT_CATALOG):
+        factory, sort_name, maximize = _OPT_CATALOG[name]
+        print(f"  {name} ({'max' if maximize else 'min'}, {sort_name})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed MSO model checking on bounded treedepth",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, formula=True):
+        p.add_argument("graph", help="graph spec (e.g. path:20, bounded:24:3)")
+        p.add_argument("--congest", action="store_true",
+                       help="run the distributed protocol instead of Algorithm 1")
+        p.add_argument("--d", type=int, default=3,
+                       help="treedepth promise for CONGEST runs (default 3)")
+        if formula:
+            p.add_argument("--catalog", help="a catalog formula name")
+            p.add_argument("--formula", help="an MSO formula in text syntax")
+            p.add_argument("--free", nargs="*",
+                           help="free variable declarations name:SORT")
+
+    p_check = sub.add_parser("check", help="decide a closed formula")
+    add_common(p_check)
+    p_check.set_defaults(func=_cmd_check)
+
+    p_opt = sub.add_parser("optimize", help="solve max-φ / min-φ")
+    add_common(p_opt, formula=False)
+    p_opt.add_argument("--problem", required=True,
+                       help="optimization problem name (see catalog)")
+    p_opt.add_argument("--direction", choices=["auto", "max", "min"],
+                       default="auto")
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_count = sub.add_parser("count", help="count satisfying assignments")
+    add_common(p_count, formula=False)
+    p_count.add_argument("--triangles", action="store_true",
+                         help="count triangles")
+    p_count.set_defaults(func=_cmd_count)
+
+    p_td = sub.add_parser("treedepth", help="treedepth of a graph")
+    p_td.add_argument("graph")
+    p_td.add_argument("--exact", action="store_true")
+    p_td.set_defaults(func=_cmd_treedepth)
+
+    p_cert = sub.add_parser("certify", help="prove + verify certification")
+    add_common(p_cert)
+    p_cert.set_defaults(func=_cmd_certify)
+
+    p_cat = sub.add_parser("catalog", help="list built-in formulas")
+    p_cat.set_defaults(func=_cmd_catalog)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 64
+
+
+if __name__ == "__main__":
+    sys.exit(main())

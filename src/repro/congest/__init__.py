@@ -1,0 +1,30 @@
+"""Round-synchronous CONGEST simulator with strict message accounting."""
+
+from .messages import Payload, check_payload, fragment_payload, int_bits, payload_bits
+from .metrics import RoundMetrics
+from .primitives import (
+    ItemCollector,
+    broadcast_from_root,
+    exchange_with_neighbors,
+    flood_value,
+    idle,
+    leader_election,
+    send_items_to,
+)
+from .runtime import (
+    Inbox,
+    NodeContext,
+    NodeProgram,
+    Simulation,
+    SimulationResult,
+    default_budget,
+    run_protocol,
+)
+
+__all__ = [
+    "Inbox", "ItemCollector", "NodeContext", "NodeProgram", "Payload",
+    "RoundMetrics", "Simulation", "SimulationResult", "broadcast_from_root",
+    "check_payload", "default_budget", "exchange_with_neighbors",
+    "flood_value", "fragment_payload", "idle", "int_bits", "leader_election",
+    "payload_bits", "run_protocol", "send_items_to",
+]

@@ -1,0 +1,41 @@
+"""Round/message/bit accounting for CONGEST executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class RoundMetrics:
+    """Aggregate statistics of one simulated execution.
+
+    ``max_message_bits`` is the headline CONGEST-legality figure: it must
+    stay within the per-edge budget (O(log n)) for the execution to be a
+    valid CONGEST run.
+    """
+
+    budget_bits: int
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    per_round_messages: List[int] = field(default_factory=list)
+
+    def record_round(self) -> None:
+        self.rounds += 1
+        self.per_round_messages.append(0)
+
+    def record_message(self, bits: int) -> None:
+        self.total_messages += 1
+        self.total_bits += bits
+        self.max_message_bits = max(self.max_message_bits, bits)
+        if self.per_round_messages:
+            self.per_round_messages[-1] += 1
+
+    def summary(self) -> str:
+        return (
+            f"rounds={self.rounds} messages={self.total_messages} "
+            f"bits={self.total_bits} max_message_bits={self.max_message_bits} "
+            f"budget={self.budget_bits}"
+        )

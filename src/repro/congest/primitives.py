@@ -1,0 +1,157 @@
+"""Reusable CONGEST sub-protocols (generator style, composed via yield from).
+
+The key primitive is :func:`leader_election` — the paper's Algorithm 2 line
+1 subroutine: min-id flooding restricted to a set U of participating nodes,
+running for a fixed number of rounds so all nodes stay in lockstep, with
+the paper's early-abort behavior obtained by passing a 2^d round bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, List, Optional
+
+from ..errors import ProtocolError
+from ..graph import Vertex
+from .messages import Payload
+from .runtime import Inbox, NodeContext
+
+
+def idle(ctx: NodeContext, rounds: int) -> Generator[None, Inbox, None]:
+    """Stay silent for ``rounds`` rounds (keeps phases aligned)."""
+    for _ in range(rounds):
+        yield
+
+
+def leader_election(
+    ctx: NodeContext, participating: bool, rounds: int
+) -> Generator[None, Inbox, Optional[Vertex]]:
+    """Min-id flooding among participating nodes for exactly ``rounds`` rounds.
+
+    Returns the minimum id seen, i.e. the leader of the participant's
+    component of G[U] (provided ``rounds`` is at least that component's
+    diameter); ``None`` for non-participants.  Only participants emit
+    ``("lead", id)`` messages, so floods cannot leak across components of
+    G[U] even though the physical network is connected.
+    """
+    best: Optional[Vertex] = ctx.node if participating else None
+    for _ in range(rounds):
+        if participating:
+            ctx.send_all(("lead", best))
+        inbox = yield
+        if participating:
+            for payload in inbox.values():
+                if isinstance(payload, tuple) and payload and payload[0] == "lead":
+                    candidate = payload[1]
+                    if candidate is not None and candidate < best:
+                        best = candidate
+    return best
+
+
+def flood_value(
+    ctx: NodeContext, value: Optional[Payload], rounds: int
+) -> Generator[None, Inbox, List[Payload]]:
+    """Flood ``value`` (if any) network-wide for ``rounds`` rounds.
+
+    Returns every distinct flooded value seen.  Values must be small
+    (budget-sized); with rounds >= diameter every node sees every value.
+    """
+    known: Dict[str, Payload] = {}
+    if value is not None:
+        known[repr(value)] = value
+    fresh = list(known.values())
+    for _ in range(rounds):
+        if fresh:
+            # One new value per neighbor per round (pipelined).
+            ctx.send_all(("flood", fresh[0]))
+            fresh = fresh[1:]
+        inbox = yield
+        for payload in inbox.values():
+            if isinstance(payload, tuple) and payload and payload[0] == "flood":
+                key = repr(payload[1])
+                if key not in known:
+                    known[key] = payload[1]
+                    fresh.append(payload[1])
+    return list(known.values())
+
+
+def broadcast_from_root(
+    ctx: NodeContext,
+    is_root: bool,
+    value: Optional[Payload],
+    rounds: int,
+) -> Generator[None, Inbox, Optional[Payload]]:
+    """Flood a single value from one root for ``rounds`` rounds; everyone
+    returns the value (or None if it did not arrive in time)."""
+    current: Optional[Payload] = value if is_root else None
+    sent = False
+    for _ in range(rounds):
+        if current is not None and not sent:
+            ctx.send_all(("bcast", current))
+            sent = True
+        inbox = yield
+        if current is None:
+            for payload in inbox.values():
+                if isinstance(payload, tuple) and payload and payload[0] == "bcast":
+                    current = payload[1]
+                    break
+    return current
+
+
+def exchange_with_neighbors(
+    ctx: NodeContext, payload: Payload
+) -> Generator[None, Inbox, Inbox]:
+    """One round: send ``payload`` to every neighbor, return the inbox."""
+    ctx.send_all(payload)
+    inbox = yield
+    return inbox
+
+
+def send_items_to(
+    ctx: NodeContext,
+    target: Vertex,
+    items: List[Payload],
+    tag: str,
+) -> Generator[None, Inbox, List[Inbox]]:
+    """Stream ``items`` to ``target`` one per round, then an end marker.
+
+    This is how protocols pay the Θ(k / log n) price of large logical
+    payloads (e.g. the OPT tables of Lemma 4.6): each item must fit the
+    budget on its own.  Returns the inboxes observed while streaming, so
+    callers can keep processing concurrent traffic.
+    """
+    observed: List[Inbox] = []
+    for item in items:
+        ctx.send(target, (tag, item))
+        observed.append((yield))
+    ctx.send(target, (tag + "/end", None))
+    observed.append((yield))
+    return observed
+
+
+class ItemCollector:
+    """Accumulates streamed items (see :func:`send_items_to`) per sender."""
+
+    def __init__(self, tag: str, senders: Iterable[Vertex]):
+        self._tag = tag
+        self._items: Dict[Vertex, List[Payload]] = {v: [] for v in senders}
+        self._done: Dict[Vertex, bool] = {v: False for v in self._items}
+
+    def absorb(self, inbox: Inbox) -> None:
+        for sender, payload in inbox.items():
+            if sender not in self._items:
+                continue
+            if not isinstance(payload, tuple) or not payload:
+                continue
+            if payload[0] == self._tag:
+                if self._done[sender]:
+                    raise ProtocolError(f"item from {sender!r} after end marker")
+                self._items[sender].append(payload[1])
+            elif payload[0] == self._tag + "/end":
+                self._done[sender] = True
+
+    @property
+    def complete(self) -> bool:
+        return all(self._done.values())
+
+    def items_from(self, sender: Vertex) -> List[Payload]:
+        return list(self._items[sender])

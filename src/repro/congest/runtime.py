@@ -1,0 +1,224 @@
+"""Round-synchronous CONGEST simulator.
+
+The model (paper Section 1): a network is a connected simple graph; each
+node knows its own O(log n)-bit identifier; computation proceeds in
+synchronous rounds; in every round each node may send one message of at
+most B = Θ(log n) bits to each neighbor, receives its neighbors' messages,
+and computes.
+
+Node programs are written as *generators*: ``run(ctx)`` sends messages via
+``ctx.send`` and executes ``inbox = yield`` to end the round; messages sent
+in round r are delivered at the start of round r+1.  Returning from the
+generator halts the node with its return value as output.  The generator
+style makes sub-protocols composable with ``yield from`` (see
+:mod:`repro.congest.primitives`).
+
+The simulator *enforces* the model: at most one message per neighbor per
+round, every payload serialized and measured, and any message above the bit
+budget raises :class:`MessageTooLargeError` — protocols must fragment big
+payloads across rounds themselves, paying the Θ(k / log n) cost the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..errors import CongestError, MessageTooLargeError, ProtocolError
+from ..graph import Graph, Vertex
+from .messages import Payload, payload_bits
+from .metrics import RoundMetrics
+
+Inbox = Dict[Vertex, Payload]
+NodeProgram = Callable[["NodeContext"], Generator[None, Inbox, Any]]
+
+
+def default_budget(n: int, multiplier: int = 4) -> int:
+    """The per-edge per-round budget B = max(48, multiplier * ceil(log2 n)).
+
+    The floor of 48 bits keeps tiny test networks usable; asymptotically
+    the budget is Θ(log n), the CONGEST definition.
+    """
+    if n <= 1:
+        return 48
+    return max(48, multiplier * math.ceil(math.log2(n)))
+
+
+class NodeContext:
+    """What a node knows and can do.
+
+    Knowledge: its id, its neighbors' ids (the usual KT1 assumption — one
+    round of id exchange would provide them anyway), the network size n,
+    and its local input dictionary (labels, weights, parameters).
+    """
+
+    def __init__(
+        self,
+        node: Vertex,
+        neighbors: List[Vertex],
+        n: int,
+        input_data: Dict[str, Any],
+        simulation: "Simulation",
+    ):
+        self.node = node
+        self.neighbors = list(neighbors)
+        self.n = n
+        self.input = input_data
+        self._simulation = simulation
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def round_number(self) -> int:
+        """The current round (1-based once the first round starts)."""
+        return self._simulation.metrics.rounds
+
+    @property
+    def budget(self) -> int:
+        return self._simulation.metrics.budget_bits
+
+    def send(self, neighbor: Vertex, payload: Payload) -> None:
+        """Queue a message for delivery to ``neighbor`` next round."""
+        self._simulation._queue_message(self.node, neighbor, payload)
+
+    def send_all(self, payload: Payload) -> None:
+        """Broadcast the same message to every neighbor."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload)
+
+
+@dataclass
+class SimulationResult:
+    """Final outputs and metrics of a run."""
+
+    outputs: Dict[Vertex, Any]
+    metrics: RoundMetrics
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    def unanimous(self) -> Any:
+        """The common output if all nodes agree; raises otherwise."""
+        values = set(map(repr, self.outputs.values()))
+        if len(values) != 1:
+            raise ProtocolError(f"outputs disagree: {self.outputs}")
+        return next(iter(self.outputs.values()))
+
+
+class Simulation:
+    """One synchronous execution of a node program on a network graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: NodeProgram,
+        inputs: Optional[Dict[Vertex, Dict[str, Any]]] = None,
+        budget: Optional[int] = None,
+        max_rounds: int = 10_000,
+        trace: bool = False,
+        trace_limit: int = 100_000,
+    ):
+        if graph.num_vertices() == 0:
+            raise CongestError("CONGEST needs at least one node")
+        self._graph = graph
+        self._program = program
+        self._inputs = inputs or {}
+        self._max_rounds = max_rounds
+        n = graph.num_vertices()
+        self.metrics = RoundMetrics(budget_bits=budget or default_budget(n))
+        self._outgoing: Dict[Tuple[Vertex, Vertex], Payload] = {}
+        self._sending_open = False
+        self._trace_enabled = trace
+        self._trace_limit = trace_limit
+        self.trace: List[Tuple[int, Vertex, Vertex, Payload]] = []
+
+    # -- internal -------------------------------------------------------
+    def _queue_message(self, sender: Vertex, receiver: Vertex, payload: Payload) -> None:
+        if not self._sending_open:
+            raise CongestError("send outside of a round")
+        if not self._graph.has_edge(sender, receiver):
+            raise CongestError(f"{sender!r} is not adjacent to {receiver!r}")
+        key = (sender, receiver)
+        if key in self._outgoing:
+            raise CongestError(
+                f"node {sender!r} already sent to {receiver!r} this round"
+            )
+        bits = payload_bits(payload)
+        if bits > self.metrics.budget_bits:
+            raise MessageTooLargeError(bits, self.metrics.budget_bits)
+        self._outgoing[key] = payload
+        self.metrics.record_message(bits)
+        if self._trace_enabled and len(self.trace) < self._trace_limit:
+            self.trace.append((self.metrics.rounds, sender, receiver, payload))
+
+    # -- execution ------------------------------------------------------
+    def run(self) -> SimulationResult:
+        n = self._graph.num_vertices()
+        contexts = {
+            v: NodeContext(
+                node=v,
+                neighbors=self._graph.neighbors(v),
+                n=n,
+                input_data=dict(self._inputs.get(v, {})),
+                simulation=self,
+            )
+            for v in self._graph.vertices()
+        }
+        generators: Dict[Vertex, Generator[None, Inbox, Any]] = {}
+        outputs: Dict[Vertex, Any] = {}
+
+        # Round 1: local computation + first sends.
+        self.metrics.record_round()
+        self._sending_open = True
+        for v in self._graph.vertices():
+            gen = self._program(contexts[v])
+            try:
+                next(gen)
+                generators[v] = gen
+            except StopIteration as stop:
+                outputs[v] = stop.value
+        self._sending_open = False
+
+        while generators:
+            if self.metrics.rounds >= self._max_rounds:
+                raise ProtocolError(
+                    f"exceeded max_rounds={self._max_rounds}; "
+                    "protocol is not terminating"
+                )
+            delivery = self._outgoing
+            self._outgoing = {}
+            by_receiver: Dict[Vertex, Inbox] = {}
+            for (sender, receiver), payload in delivery.items():
+                by_receiver.setdefault(receiver, {})[sender] = payload
+            self.metrics.record_round()
+            self._sending_open = True
+            for v in sorted(generators):
+                inbox: Inbox = by_receiver.get(v, {})
+                gen = generators[v]
+                try:
+                    gen.send(inbox)
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    del generators[v]
+            self._sending_open = False
+            if not self._outgoing and not generators:
+                break
+        return SimulationResult(outputs=outputs, metrics=self.metrics)
+
+
+def run_protocol(
+    graph: Graph,
+    program: NodeProgram,
+    inputs: Optional[Dict[Vertex, Dict[str, Any]]] = None,
+    budget: Optional[int] = None,
+    max_rounds: int = 10_000,
+) -> SimulationResult:
+    """Convenience wrapper: build a Simulation and run it."""
+    return Simulation(
+        graph, program, inputs=inputs, budget=budget, max_rounds=max_rounds
+    ).run()

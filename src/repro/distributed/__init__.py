@@ -1,0 +1,53 @@
+"""The paper's distributed protocols (Algorithm 2, Theorem 6.1, §6-7)."""
+
+from .baselines import BaselineDecision, gather_decide
+from .counting import DistributedCount, count_distributed
+from .decomposition import (
+    DistributedDecompositionResult,
+    grid_coloring_program,
+    grid_decomposition_distributed,
+)
+from .elimination import (
+    DistributedEliminationResult,
+    EliminationOutput,
+    build_elimination_tree,
+    elimination_tree_program,
+)
+from .hfree import HFreenessResult, decide_h_freeness
+from .marked import DistributedOptMarked, optmarked_distributed
+from .model_checking import (
+    ClassCodec,
+    DistributedDecision,
+    decide,
+    node_inputs_from_elimination,
+)
+from .optimization import (
+    DistributedOptimization,
+    NodeSelection,
+    optimize_distributed,
+)
+
+__all__ = [
+    "BaselineDecision",
+    "ClassCodec",
+    "DistributedCount",
+    "DistributedDecision",
+    "DistributedDecompositionResult",
+    "DistributedEliminationResult",
+    "grid_coloring_program",
+    "grid_decomposition_distributed",
+    "DistributedOptMarked",
+    "DistributedOptimization",
+    "EliminationOutput",
+    "HFreenessResult",
+    "NodeSelection",
+    "build_elimination_tree",
+    "count_distributed",
+    "decide",
+    "decide_h_freeness",
+    "elimination_tree_program",
+    "gather_decide",
+    "node_inputs_from_elimination",
+    "optimize_distributed",
+    "optmarked_distributed",
+]

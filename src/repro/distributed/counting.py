@@ -1,0 +1,166 @@
+"""Section 6 (counting): distributed count-φ in CONGEST.
+
+Same convergecast shape as the optimization protocol, with COUNT tables
+(class → number of partial assignments) in place of OPT tables.  Counts
+can exceed the message budget (e.g. #independent-sets is exponential), so
+each count is streamed in base-2^CHUNK digits — the honest Θ(k / log n)
+cost of a k-bit value.  For the paper's headline examples (triangles,
+perfect matchings on sparse graphs) counts are polynomial and fit in one
+or two chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..algebra import TreeAutomaton
+from ..algebra.symbols import enumerate_symbol_choices
+from ..congest import Inbox, ItemCollector, NodeContext, run_protocol
+from ..errors import ProtocolError
+from ..graph import Graph, Vertex, canonical_edge
+from .elimination import build_elimination_tree
+from .model_checking import ClassCodec, local_base_symbol, node_inputs_from_elimination
+
+_CHUNK_BITS = 8
+
+
+def _count_to_digits(count: int) -> List[int]:
+    if count == 0:
+        return [0]
+    digits = []
+    while count:
+        digits.append(count & ((1 << _CHUNK_BITS) - 1))
+        count >>= _CHUNK_BITS
+    return digits
+
+
+def _digits_to_count(digits: List[int]) -> int:
+    total = 0
+    for i, digit in enumerate(digits):
+        total |= digit << (_CHUNK_BITS * i)
+    return total
+
+
+def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
+    """Node program factory for the counting convergecast."""
+
+    def program(ctx: NodeContext) -> Generator[None, Inbox, Optional[int]]:
+        depth: int = ctx.input["depth"]
+        children: Tuple[Vertex, ...] = tuple(ctx.input["children"])
+        parent: Optional[Vertex] = ctx.input["parent"]
+        bag: Tuple[Vertex, ...] = tuple(ctx.input["bag"])
+        positions: Tuple[int, ...] = tuple(ctx.input["anc_edge_positions"])
+
+        base = local_base_symbol(ctx, automaton.scope)
+        owned_edges = [
+            (pos, canonical_edge(bag[pos - 1], ctx.node)) for pos in positions
+        ]
+        table: Dict[Any, int] = {}
+        for choice in enumerate_symbol_choices(
+            base.structure, automaton.scope, ctx.node, owned_edges
+        ):
+            state = automaton.leaf(choice.symbol)
+            table[state] = table.get(state, 0) + 1
+
+        collector = ItemCollector("cnt", children)
+        while not collector.complete:
+            inbox = yield
+            collector.absorb(inbox)
+        for child in children:
+            # Entries are framed as a header item (0, class_id) followed by
+            # digit items (1, digit) in little-endian order — each message
+            # stays small even when |C_reachable| is large.
+            child_table: Dict[Any, int] = {}
+            current_state = None
+            digit_index = 0
+            for kind, value in collector.items_from(child):
+                if kind == 0:
+                    current_state = codec.decode(value)
+                    digit_index = 0
+                else:
+                    if current_state is None:
+                        raise ProtocolError("count digit before its header")
+                    child_table[current_state] = child_table.get(
+                        current_state, 0
+                    ) | (value << (_CHUNK_BITS * digit_index))
+                    digit_index += 1
+            merged: Dict[Any, int] = {}
+            for s1, c1 in table.items():
+                for s2, c2 in child_table.items():
+                    s = automaton.glue(depth, s1, s2)
+                    merged[s] = merged.get(s, 0) + c1 * c2
+            table = merged
+        forgotten: Dict[Any, int] = {}
+        for s, c in table.items():
+            fs = automaton.forget(depth, s)
+            forgotten[fs] = forgotten.get(fs, 0) + c
+
+        if parent is not None:
+            for s in sorted(forgotten, key=codec.encode):
+                ctx.send(parent, ("cnt", (0, codec.encode(s))))
+                yield
+                for digit in _count_to_digits(forgotten[s]):
+                    ctx.send(parent, ("cnt", (1, digit)))
+                    yield
+            ctx.send(parent, ("cnt/end", None))
+            return None
+        return sum(c for s, c in forgotten.items() if automaton.accepts(s))
+
+    return program
+
+
+@dataclass
+class DistributedCount:
+    """Outcome of the counting pipeline (count known at the root)."""
+
+    count: Optional[int]
+    treedepth_exceeded: bool
+    total_rounds: int
+    elimination_rounds: int
+    counting_rounds: int
+    max_message_bits: int
+    num_classes: int
+
+
+def count_distributed(
+    automaton: TreeAutomaton,
+    graph: Graph,
+    d: int,
+    budget: Optional[int] = None,
+) -> DistributedCount:
+    """Run Algorithm 2 followed by the counting convergecast."""
+    if not automaton.scope:
+        raise ProtocolError("counting needs at least one free variable")
+    elim = build_elimination_tree(graph, d, budget=budget)
+    if not elim.accepted:
+        return DistributedCount(
+            count=None,
+            treedepth_exceeded=True,
+            total_rounds=elim.rounds,
+            elimination_rounds=elim.rounds,
+            counting_rounds=0,
+            max_message_bits=elim.max_message_bits,
+            num_classes=0,
+        )
+    inputs = node_inputs_from_elimination(graph, elim)
+    codec = ClassCodec(automaton)
+    result = run_protocol(
+        graph,
+        counting_program(automaton, codec),
+        inputs=inputs,
+        budget=budget,
+        max_rounds=500_000,
+    )
+    counts = [c for c in result.outputs.values() if c is not None]
+    if len(counts) != 1:
+        raise ProtocolError("exactly one node (the root) should hold the count")
+    return DistributedCount(
+        count=counts[0],
+        treedepth_exceeded=False,
+        total_rounds=elim.rounds + result.rounds,
+        elimination_rounds=elim.rounds,
+        counting_rounds=result.rounds,
+        max_message_bits=max(elim.max_message_bits, result.metrics.max_message_bits),
+        num_classes=codec.num_classes,
+    )

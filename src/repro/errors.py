@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or query (unknown vertex, loop, ...)."""
+
+
+class DecompositionError(ReproError):
+    """An elimination forest or tree decomposition is invalid."""
+
+
+class TreedepthExceededError(ReproError):
+    """The input graph has treedepth larger than the promised bound.
+
+    Distributed protocols report this instead of silently mis-deciding,
+    mirroring the paper's "reports td(G) > d" outcome (Theorem 6.1).
+    """
+
+    def __init__(self, bound: int, message: str = ""):
+        self.bound = bound
+        super().__init__(message or f"graph has treedepth > {bound}")
+
+
+class FormulaError(ReproError):
+    """Malformed MSO formula (unbound variable, sort mismatch, parse error)."""
+
+
+class CongestError(ReproError):
+    """CONGEST model violation or simulator misuse."""
+
+
+class MessageTooLargeError(CongestError):
+    """A single-round message exceeded the per-edge bit budget."""
+
+    def __init__(self, bits: int, budget: int):
+        self.bits = bits
+        self.budget = budget
+        super().__init__(f"message of {bits} bits exceeds CONGEST budget of {budget} bits")
+
+
+class ProtocolError(CongestError):
+    """A distributed protocol reached an inconsistent state."""
+
+
+class CertificationError(ReproError):
+    """Raised by the certification prover on unsatisfiable instances."""

@@ -1,0 +1,19 @@
+"""Bounded expansion: degeneracy, low treedepth decompositions (paper §7)."""
+
+from .degeneracy import degeneracy_ordering
+from .low_treedepth import (
+    LowTreedepthDecomposition,
+    depth_coloring_decomposition,
+    grid_residue_decomposition,
+    union_graph,
+    verify_decomposition,
+)
+
+__all__ = [
+    "LowTreedepthDecomposition",
+    "degeneracy_ordering",
+    "depth_coloring_decomposition",
+    "grid_residue_decomposition",
+    "union_graph",
+    "verify_decomposition",
+]

@@ -1,0 +1,37 @@
+"""Degeneracy orderings.
+
+Graphs of bounded expansion have bounded degeneracy; the N-OdM distributed
+low-treedepth decomposition is built on distributed degeneracy
+approximation (Theorem 7.2's proof sketch).  We provide the sequential
+ordering both as a building block and as a test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph import Graph, Vertex
+
+
+def degeneracy_ordering(graph: Graph) -> Tuple[List[Vertex], int]:
+    """Return (ordering, degeneracy).
+
+    The ordering repeatedly removes a minimum-degree vertex; the degeneracy
+    is the largest degree seen at removal time.  Every vertex has at most
+    ``degeneracy`` neighbors *later* in the ordering.
+    """
+    degrees: Dict[Vertex, int] = {v: graph.degree(v) for v in graph.vertices()}
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    remaining = set(degrees)
+    order: List[Vertex] = []
+    degeneracy = 0
+    while remaining:
+        v = min(remaining, key=lambda u: (degrees[u], u))
+        degeneracy = max(degeneracy, degrees[v])
+        order.append(v)
+        remaining.discard(v)
+        for u in adjacency[v]:
+            if u in remaining:
+                degrees[u] -= 1
+                adjacency[u].discard(v)
+    return order, degeneracy

@@ -1,0 +1,18 @@
+"""Graph substrate: simple labeled weighted graphs, generators, oracles."""
+
+from .graph import Edge, Graph, Vertex, canonical_edge, disjoint_union, relabeled
+from . import generators, interop, io, operations, properties
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "Vertex",
+    "canonical_edge",
+    "disjoint_union",
+    "relabeled",
+    "generators",
+    "interop",
+    "io",
+    "operations",
+    "properties",
+]

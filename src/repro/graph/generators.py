@@ -1,0 +1,319 @@
+"""Graph generators for tests, examples, and benchmarks.
+
+The families below cover everything the paper reasons about:
+
+* low-treedepth families (paths, stars, caterpillars, tree closures,
+  random bounded-treedepth graphs) for the meta-theorem itself,
+* the ``path + claw`` family from Section 1.1 that witnesses the Ω(n)
+  lower bound (the class 𝒫 ∪ ℬ on which O(1)-round decision is impossible),
+* bounded-expansion families (grids, outerplanar fans) for Corollary 7.3,
+* small pattern graphs H for H-freeness formulas.
+
+All generators are deterministic: randomized ones take an explicit ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..errors import GraphError
+from .graph import Graph
+
+
+def path(n: int) -> Graph:
+    """The path P_n on vertices 0..n-1.  td(P_n) = ceil(log2(n + 1))."""
+    if n < 1:
+        raise GraphError("path requires n >= 1")
+    return Graph(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle(n: int) -> Graph:
+    """The cycle C_n on vertices 0..n-1 (n >= 3)."""
+    if n < 3:
+        raise GraphError("cycle requires n >= 3")
+    g = path(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star(leaves: int) -> Graph:
+    """A star: center 0 joined to leaves 1..leaves.  Treedepth 2."""
+    if leaves < 0:
+        raise GraphError("star requires leaves >= 0")
+    return Graph(range(leaves + 1), [(0, i) for i in range(1, leaves + 1)])
+
+
+def clique(n: int) -> Graph:
+    """The complete graph K_n.  Treedepth n."""
+    if n < 1:
+        raise GraphError("clique requires n >= 1")
+    return Graph(range(n), [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b} with sides 0..a-1 and a..a+b-1.  Treedepth min(a, b) + 1."""
+    if a < 1 or b < 1:
+        raise GraphError("complete_bipartite requires a, b >= 1")
+    return Graph(range(a + b), [(i, a + j) for i in range(a) for j in range(b)])
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """The rows x cols grid graph (planar, hence bounded expansion)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid requires rows, cols >= 1")
+    g = Graph(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def complete_binary_tree(depth: int) -> Graph:
+    """Complete binary tree with ``depth`` levels (root alone at depth 1).
+
+    Its treedepth equals ``depth`` and it has 2^depth - 1 vertices.
+    """
+    if depth < 1:
+        raise GraphError("complete_binary_tree requires depth >= 1")
+    n = 2 ** depth - 1
+    return Graph(range(n), [((i - 1) // 2, i) for i in range(1, n)])
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """A caterpillar: path of ``spine`` vertices, each with ``legs`` leaves.
+
+    Treedepth is Θ(log spine); a classic sparse low-treedepth family.
+    """
+    if spine < 1 or legs < 0:
+        raise GraphError("caterpillar requires spine >= 1 and legs >= 0")
+    g = path(spine)
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs):
+            g.add_edge(s, nxt)
+            nxt += 1
+    return g
+
+
+def path_with_claw(path_len: int) -> Graph:
+    """The Section 1.1 lower-bound family ℬ: a path with a claw at one end.
+
+    Vertices 0..path_len-1 form a path; vertices path_len..path_len+2 are
+    three claw leaves attached to vertex 0.  The class {paths} ∪ {these}
+    has unbounded treedepth, and deciding "there is a vertex of degree > 2"
+    on it requires Ω(n) rounds (the claw can be n hops away).
+    """
+    if path_len < 1:
+        raise GraphError("path_with_claw requires path_len >= 1")
+    g = path(path_len)
+    for i in range(3):
+        g.add_edge(0, path_len + i)
+    return g
+
+
+def fan(n: int) -> Graph:
+    """Outerplanar fan: path 1..n-1 plus apex 0 joined to every path vertex.
+
+    Outerplanar, hence bounded expansion; treedepth Θ(log n).
+    """
+    if n < 2:
+        raise GraphError("fan requires n >= 2")
+    g = Graph(range(n), [(i, i + 1) for i in range(1, n - 1)])
+    for i in range(1, n):
+        g.add_edge(0, i)
+    return g
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform-ish random tree: vertex i attaches to a random earlier vertex."""
+    if n < 1:
+        raise GraphError("random_tree requires n >= 1")
+    rng = random.Random(seed)
+    g = Graph([0])
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v)
+    return g
+
+
+def random_elimination_forest(
+    n: int, depth: int, seed: int = 0, connected: bool = True
+) -> Dict[int, Optional[int]]:
+    """Random parent map of a forest on 0..n-1 with depth <= ``depth``.
+
+    Returns ``parent[v]`` (``None`` for roots).  If ``connected`` the forest
+    is a single tree rooted at 0.
+    """
+    if n < 1 or depth < 1:
+        raise GraphError("need n >= 1 and depth >= 1")
+    rng = random.Random(seed)
+    parent: Dict[int, Optional[int]] = {0: None}
+    level = {0: 1}
+    for v in range(1, n):
+        if not connected and rng.random() < 0.05:
+            parent[v] = None
+            level[v] = 1
+            continue
+        candidates = [u for u in range(v) if level[u] < depth]
+        if not candidates:
+            parent[v] = None
+            level[v] = 1
+            continue
+        p = rng.choice(candidates)
+        parent[v] = p
+        level[v] = level[p] + 1
+    return parent
+
+
+def random_bounded_treedepth(
+    n: int, depth: int, edge_prob: float = 0.5, seed: int = 0
+) -> Graph:
+    """Random connected graph whose treedepth is at most ``depth``.
+
+    Construction: draw a random rooted tree on 0..n-1 of depth <= ``depth``,
+    keep every tree edge (so the tree is an elimination tree *and* a
+    subgraph, guaranteeing connectivity), and add each other
+    ancestor-descendant pair as an edge with probability ``edge_prob``.
+    Every edge of the result respects the ancestry relation, so the tree is
+    an elimination forest and td(G) <= depth.
+    """
+    parent = random_elimination_forest(n, depth, seed=seed, connected=True)
+    rng = random.Random(seed + 0x9E3779B9)
+    g = Graph(range(n))
+    ancestors: Dict[int, List[int]] = {}
+    for v in range(n):
+        chain: List[int] = []
+        p = parent[v]
+        while p is not None:
+            chain.append(p)
+            p = parent[p]
+        ancestors[v] = chain
+    for v in range(n):
+        if parent[v] is not None:
+            g.add_edge(parent[v], v)
+        for a in ancestors[v][1:]:
+            if rng.random() < edge_prob:
+                g.add_edge(a, v)
+    return g
+
+
+def tree_closure(parent: Dict[int, Optional[int]]) -> Graph:
+    """The ancestor closure of a rooted forest: join v to all its ancestors.
+
+    The closure of a depth-d forest has treedepth exactly d.
+    """
+    g = Graph(parent.keys())
+    for v in parent:
+        a = parent[v]
+        while a is not None:
+            g.add_edge(a, v)
+            a = parent[a]
+    return g
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int = 0) -> Graph:
+    """Random connected graph: random tree plus ``extra_edges`` chords."""
+    rng = random.Random(seed)
+    g = random_tree(n, seed=seed)
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+def random_maximal_outerplanar(n: int, seed: int = 0) -> Graph:
+    """A random maximal outerplanar graph: a triangulated n-gon.
+
+    Outerplanar graphs are planar, hence of bounded expansion — a second
+    family (besides grids) for the Corollary 7.3 experiments.  Built by
+    recursively splitting the polygon with random chords.
+    """
+    if n < 3:
+        raise GraphError("outerplanar triangulation requires n >= 3")
+    rng = random.Random(seed)
+    g = cycle(n)
+
+    def triangulate(lo: int, hi: int) -> None:
+        # Triangulate the polygon arc lo..hi (indices along the cycle,
+        # chord lo-hi already present).
+        if hi - lo < 2:
+            return
+        mid = rng.randrange(lo + 1, hi)
+        if (lo, mid) != (lo, lo + 1) and mid - lo >= 2:
+            g.add_edge(lo, mid)
+        if hi - mid >= 2:
+            g.add_edge(mid, hi)
+        triangulate(lo, mid)
+        triangulate(mid, hi)
+
+    triangulate(0, n - 1)
+    return g
+
+
+def random_apex_tree(n: int, seed: int = 0) -> Graph:
+    """A random tree plus one apex vertex joined to every tree vertex.
+
+    Treedepth is O(log n) + 1; a dense-ish low-treedepth family.
+    """
+    if n < 1:
+        raise GraphError("random_apex_tree requires n >= 1")
+    g = random_tree(n, seed=seed)
+    apex = n
+    for v in range(n):
+        g.add_edge(apex, v)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Small pattern graphs (the H in H-freeness)
+# ----------------------------------------------------------------------
+
+def triangle() -> Graph:
+    """K3."""
+    return clique(3)
+
+
+def claw() -> Graph:
+    """K_{1,3}: the claw."""
+    return star(3)
+
+
+def paw() -> Graph:
+    """Triangle with a pendant vertex."""
+    g = clique(3)
+    g.add_edge(0, 3)
+    return g
+
+
+def diamond() -> Graph:
+    """K4 minus one edge."""
+    g = clique(4)
+    g.remove_edge(0, 1)
+    return g
+
+
+def named_pattern(name: str) -> Graph:
+    """Look up a small pattern graph by name (for CLI-ish convenience)."""
+    patterns = {
+        "triangle": triangle,
+        "claw": claw,
+        "paw": paw,
+        "diamond": diamond,
+        "p3": lambda: path(3),
+        "p4": lambda: path(4),
+        "c4": lambda: cycle(4),
+        "c5": lambda: cycle(5),
+        "k4": lambda: clique(4),
+    }
+    if name not in patterns:
+        raise GraphError(f"unknown pattern {name!r}; choose from {sorted(patterns)}")
+    return patterns[name]()

@@ -1,0 +1,372 @@
+"""Simple undirected graphs with optional labels and weights.
+
+This is the common substrate for the whole package: the sequential
+model-checking engine, the treedepth toolkit, and the CONGEST simulator all
+operate on :class:`Graph`.
+
+Design choices
+--------------
+* Vertices are arbitrary hashable, mutually comparable identifiers
+  (typically ``int``).  The CONGEST model gives every node a unique id;
+  we reuse the vertex identifier for that purpose.
+* Edges are canonicalized to ``(min(u, v), max(u, v))`` tuples, so an edge
+  can be used as a dictionary key and compared for equality regardless of
+  endpoint order.
+* Labels model the paper's unary predicates on labeled graphs (Section 6):
+  each vertex and each edge carries a (possibly empty) set of string labels.
+* Weights model the paper's polynomially-bounded weight assignment
+  ``w : V ∪ E → Z`` used by the optimization variants (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import GraphError
+
+Vertex = Any
+Edge = Tuple[Any, Any]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) representation of the edge {u, v}.
+
+    Vertices of mixed incomparable types (e.g. ints and tuples, as produced
+    by :func:`~repro.graph.operations.subdivision`) are ordered by
+    ``(type name, repr)`` as a total fallback.
+    """
+    if u == v:
+        raise GraphError(f"self-loops are not allowed: {u!r}")
+    try:
+        return (u, v) if u < v else (v, u)
+    except TypeError:
+        return (u, v) if _fallback_key(u) < _fallback_key(v) else (v, u)
+
+
+def _fallback_key(v: Vertex):
+    """A total order key: nested (type name, repr) pairs.
+
+    Comparisons only descend into the second component when type names
+    match, so mixed-type collections always sort without TypeError.
+    """
+    if isinstance(v, tuple):
+        return ("tuple", tuple(_fallback_key(item) for item in v))
+    return (type(v).__name__, repr(v))
+
+
+def sorted_vertices(items: Iterable) -> List:
+    """Deterministically sort possibly mixed-type vertices/edges."""
+    items = list(items)
+    try:
+        return sorted(items)
+    except TypeError:
+        return sorted(items, key=_fallback_key)
+
+
+class Graph:
+    """A finite simple undirected graph with labels and integer weights."""
+
+    def __init__(self, vertices: Iterable[Vertex] = (), edges: Iterable[Edge] = ()):
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._vertex_labels: Dict[Vertex, Set[str]] = {}
+        self._edge_labels: Dict[Edge, Set[str]] = {}
+        self._vertex_weights: Dict[Vertex, int] = {}
+        self._edge_weights: Dict[Edge, int] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add vertex ``v``; adding an existing vertex is a no-op."""
+        if v not in self._adj:
+            self._adj[v] = set()
+            self._vertex_labels[v] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add edge {u, v}, creating missing endpoints.  Idempotent."""
+        e = canonical_edge(u, v)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._edge_labels[e] = set()
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all incident edges."""
+        if v not in self._adj:
+            raise GraphError(f"unknown vertex {v!r}")
+        for u in list(self._adj[v]):
+            self.remove_edge(u, v)
+        del self._adj[v]
+        del self._vertex_labels[v]
+        self._vertex_weights.pop(v, None)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        e = canonical_edge(u, v)
+        if not self.has_edge(u, v):
+            raise GraphError(f"unknown edge {e!r}")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        del self._edge_labels[e]
+        self._edge_weights.pop(e, None)
+
+    # ------------------------------------------------------------------
+    # Labels and weights
+    # ------------------------------------------------------------------
+    def add_vertex_label(self, v: Vertex, label: str) -> None:
+        self._require_vertex(v)
+        self._vertex_labels[v].add(label)
+
+    def add_edge_label(self, u: Vertex, v: Vertex, label: str) -> None:
+        e = self._require_edge(u, v)
+        self._edge_labels[e].add(label)
+
+    def vertex_labels(self, v: Vertex) -> FrozenSet[str]:
+        self._require_vertex(v)
+        return frozenset(self._vertex_labels[v])
+
+    def edge_labels(self, u: Vertex, v: Vertex) -> FrozenSet[str]:
+        e = self._require_edge(u, v)
+        return frozenset(self._edge_labels[e])
+
+    def has_vertex_label(self, v: Vertex, label: str) -> bool:
+        self._require_vertex(v)
+        return label in self._vertex_labels[v]
+
+    def has_edge_label(self, u: Vertex, v: Vertex, label: str) -> bool:
+        e = self._require_edge(u, v)
+        return label in self._edge_labels[e]
+
+    def set_vertex_weight(self, v: Vertex, weight: int) -> None:
+        self._require_vertex(v)
+        self._vertex_weights[v] = int(weight)
+
+    def set_edge_weight(self, u: Vertex, v: Vertex, weight: int) -> None:
+        e = self._require_edge(u, v)
+        self._edge_weights[e] = int(weight)
+
+    def vertex_weight(self, v: Vertex, default: int = 1) -> int:
+        """Weight of ``v`` (defaults to 1, i.e. cardinality optimization)."""
+        self._require_vertex(v)
+        return self._vertex_weights.get(v, default)
+
+    def edge_weight(self, u: Vertex, v: Vertex, default: int = 1) -> int:
+        e = self._require_edge(u, v)
+        return self._edge_weights.get(e, default)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def vertices(self) -> List[Vertex]:
+        """All vertices, sorted for deterministic iteration."""
+        return sorted_vertices(self._adj)
+
+    def edges(self) -> List[Edge]:
+        """All edges in canonical form, sorted for deterministic iteration."""
+        return sorted_vertices(self._edge_labels)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> List[Vertex]:
+        self._require_vertex(v)
+        return sorted_vertices(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        self._require_vertex(v)
+        return len(self._adj[v])
+
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return len(self._edge_labels)
+
+    def incident_edges(self, v: Vertex) -> List[Edge]:
+        """All edges incident to ``v``, in canonical form."""
+        self._require_vertex(v)
+        return sorted_vertices(canonical_edge(v, u) for u in self._adj[v])
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.vertices())
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices()}, m={self.num_edges()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._adj == other._adj
+            and self._vertex_labels == other._vertex_labels
+            and self._edge_labels == other._edge_labels
+            and self._vertex_weights == other._vertex_weights
+            and self._edge_weights == other._edge_weights
+        )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._adj = {v: set(nb) for v, nb in self._adj.items()}
+        g._vertex_labels = {v: set(s) for v, s in self._vertex_labels.items()}
+        g._edge_labels = {e: set(s) for e, s in self._edge_labels.items()}
+        g._vertex_weights = dict(self._vertex_weights)
+        g._edge_weights = dict(self._edge_weights)
+        return g
+
+    def induced_subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """Subgraph induced by ``keep``; labels and weights are preserved."""
+        keep_set = set(keep)
+        unknown = keep_set - set(self._adj)
+        if unknown:
+            raise GraphError(f"unknown vertices {sorted(unknown)!r}")
+        g = Graph()
+        for v in keep_set:
+            g.add_vertex(v)
+            g._vertex_labels[v] = set(self._vertex_labels[v])
+            if v in self._vertex_weights:
+                g._vertex_weights[v] = self._vertex_weights[v]
+        for u, v in self.edges():
+            if u in keep_set and v in keep_set:
+                g.add_edge(u, v)
+                e = canonical_edge(u, v)
+                g._edge_labels[e] = set(self._edge_labels[e])
+                if e in self._edge_weights:
+                    g._edge_weights[e] = self._edge_weights[e]
+        return g
+
+    def without_vertices(self, drop: Iterable[Vertex]) -> "Graph":
+        """Subgraph induced by V minus ``drop``."""
+        drop_set = set(drop)
+        return self.induced_subgraph(v for v in self._adj if v not in drop_set)
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def connected_components(self) -> List[List[Vertex]]:
+        """Vertex sets of connected components, each sorted, deterministic."""
+        seen: Set[Vertex] = set()
+        components: List[List[Vertex]] = []
+        for start in self.vertices():
+            if start in seen:
+                continue
+            stack = [start]
+            comp: List[Vertex] = []
+            seen.add(start)
+            while stack:
+                v = stack.pop()
+                comp.append(v)
+                for u in self._adj[v]:
+                    if u not in seen:
+                        seen.add(u)
+                        stack.append(u)
+            components.append(sorted_vertices(comp))
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self._adj) <= 1 or len(self.connected_components()) == 1
+
+    def bfs_distances(self, source: Vertex) -> Dict[Vertex, int]:
+        """Hop distances from ``source`` to every reachable vertex."""
+        self._require_vertex(source)
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt: List[Vertex] = []
+            for v in frontier:
+                for u in self._adj[v]:
+                    if u not in dist:
+                        dist[u] = dist[v] + 1
+                        nxt.append(u)
+            frontier = nxt
+        return dist
+
+    def diameter(self) -> int:
+        """Diameter of a connected graph (max pairwise hop distance)."""
+        if not self.is_connected():
+            raise GraphError("diameter is undefined for disconnected graphs")
+        if self.num_vertices() <= 1:
+            return 0
+        return max(
+            max(self.bfs_distances(v).values()) for v in self.vertices()
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _require_vertex(self, v: Vertex) -> None:
+        if v not in self._adj:
+            raise GraphError(f"unknown vertex {v!r}")
+
+    def _require_edge(self, u: Vertex, v: Vertex) -> Edge:
+        if not self.has_edge(u, v):
+            raise GraphError(f"unknown edge ({u!r}, {v!r})")
+        return canonical_edge(u, v)
+
+
+def relabeled(graph: Graph, mapping: Dict[Vertex, Vertex]) -> Graph:
+    """Return a copy of ``graph`` with vertices renamed through ``mapping``.
+
+    ``mapping`` must be injective on ``graph``'s vertices; vertices missing
+    from the mapping keep their name.
+    """
+    target = [mapping.get(v, v) for v in graph.vertices()]
+    if len(set(target)) != len(target):
+        raise GraphError("relabeling mapping is not injective")
+    g = Graph()
+    for v in graph.vertices():
+        nv = mapping.get(v, v)
+        g.add_vertex(nv)
+        for label in graph.vertex_labels(v):
+            g.add_vertex_label(nv, label)
+        if v in graph._vertex_weights:
+            g.set_vertex_weight(nv, graph._vertex_weights[v])
+    for u, v in graph.edges():
+        nu, nv = mapping.get(u, u), mapping.get(v, v)
+        g.add_edge(nu, nv)
+        for label in graph.edge_labels(u, v):
+            g.add_edge_label(nu, nv, label)
+        e = canonical_edge(u, v)
+        if e in graph._edge_weights:
+            g.set_edge_weight(nu, nv, graph._edge_weights[e])
+    return g
+
+
+def disjoint_union(a: Graph, b: Graph, offset: Optional[int] = None) -> Graph:
+    """Disjoint union of two integer-vertex graphs.
+
+    ``b``'s vertices are shifted by ``offset`` (default: ``max(a) + 1``).
+    """
+    if a.num_vertices() and not all(isinstance(v, int) for v in a.vertices()):
+        raise GraphError("disjoint_union requires integer vertices")
+    if b.num_vertices() and not all(isinstance(v, int) for v in b.vertices()):
+        raise GraphError("disjoint_union requires integer vertices")
+    if offset is None:
+        offset = (max(a.vertices()) + 1) if a.num_vertices() else 0
+    shifted = relabeled(b, {v: v + offset for v in b.vertices()})
+    out = a.copy()
+    for v in shifted.vertices():
+        out.add_vertex(v)
+        for label in shifted.vertex_labels(v):
+            out.add_vertex_label(v, label)
+    for u, v in shifted.edges():
+        out.add_edge(u, v)
+        for label in shifted.edge_labels(u, v):
+            out.add_edge_label(u, v, label)
+    return out

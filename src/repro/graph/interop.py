@@ -1,0 +1,69 @@
+"""Interoperability with networkx.
+
+``networkx`` is an optional dependency: these helpers import it lazily so
+the rest of the library works without it.  Conversions preserve labels
+(as the ``labels`` node/edge attribute, a sorted tuple) and weights (the
+``weight`` attribute, when different from the default 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import GraphError
+from .graph import Graph
+
+
+def _networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise GraphError("networkx is not installed") from exc
+    return networkx
+
+
+def to_networkx(graph: Graph) -> Any:
+    """Convert to ``networkx.Graph`` with labels/weights as attributes."""
+    nx = _networkx()
+    out = nx.Graph()
+    for v in graph.vertices():
+        attrs = {}
+        labels = sorted(graph.vertex_labels(v))
+        if labels:
+            attrs["labels"] = tuple(labels)
+        if graph.vertex_weight(v) != 1:
+            attrs["weight"] = graph.vertex_weight(v)
+        out.add_node(v, **attrs)
+    for u, v in graph.edges():
+        attrs = {}
+        labels = sorted(graph.edge_labels(u, v))
+        if labels:
+            attrs["labels"] = tuple(labels)
+        if graph.edge_weight(u, v) != 1:
+            attrs["weight"] = graph.edge_weight(u, v)
+        out.add_edge(u, v, **attrs)
+    return out
+
+
+def from_networkx(nx_graph: Any) -> Graph:
+    """Convert from a ``networkx.Graph`` (simple, undirected).
+
+    Self-loops are rejected (our graphs are simple, as the paper assumes);
+    multigraphs collapse parallel edges.
+    """
+    g = Graph()
+    for v, data in nx_graph.nodes(data=True):
+        g.add_vertex(v)
+        for label in data.get("labels", ()):
+            g.add_vertex_label(v, str(label))
+        if "weight" in data:
+            g.set_vertex_weight(v, int(data["weight"]))
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            raise GraphError("self-loops are not supported")
+        g.add_edge(u, v)
+        for label in data.get("labels", ()):
+            g.add_edge_label(u, v, str(label))
+        if "weight" in data:
+            g.set_edge_weight(u, v, int(data["weight"]))
+    return g

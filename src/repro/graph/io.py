@@ -1,0 +1,132 @@
+"""Graph serialization: edge lists, an extended text format, DOT export.
+
+The text format is line-oriented and diff-friendly::
+
+    # comment
+    vertex 3 [label=red,label=source] [weight=5]
+    edge 1 2 [label=backbone] [weight=3]
+
+Only the ``vertex``/``edge`` keyword and the two ids are mandatory.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, TextIO
+
+from ..errors import GraphError
+from .graph import Graph, Vertex
+
+_ATTR_RE = re.compile(r"\[(label|weight)=([^\]]*)\]")
+
+
+def _parse_vertex_id(token: str) -> Vertex:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def dumps(graph: Graph) -> str:
+    """Serialize ``graph`` to the text format."""
+    lines: List[str] = []
+    for v in graph.vertices():
+        attrs = "".join(f"[label={label}]" for label in sorted(graph.vertex_labels(v)))
+        weight = graph.vertex_weight(v)
+        if weight != 1:
+            attrs += f"[weight={weight}]"
+        lines.append(f"vertex {v} {attrs}".rstrip())
+    for u, v in graph.edges():
+        attrs = "".join(
+            f"[label={label}]" for label in sorted(graph.edge_labels(u, v))
+        )
+        weight = graph.edge_weight(u, v)
+        if weight != 1:
+            attrs += f"[weight={weight}]"
+        lines.append(f"edge {u} {v} {attrs}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Graph:
+    """Parse the text format back into a graph."""
+    g = Graph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        attrs = _ATTR_RE.findall(line)
+        if kind == "vertex":
+            if len(parts) < 2:
+                raise GraphError(f"line {lineno}: vertex needs an id")
+            v = _parse_vertex_id(parts[1])
+            g.add_vertex(v)
+            for key, value in attrs:
+                if key == "label":
+                    g.add_vertex_label(v, value)
+                else:
+                    g.set_vertex_weight(v, int(value))
+        elif kind == "edge":
+            if len(parts) < 3:
+                raise GraphError(f"line {lineno}: edge needs two ids")
+            u, v = _parse_vertex_id(parts[1]), _parse_vertex_id(parts[2])
+            g.add_edge(u, v)
+            for key, value in attrs:
+                if key == "label":
+                    g.add_edge_label(u, v, value)
+                else:
+                    g.set_edge_weight(u, v, int(value))
+        else:
+            raise GraphError(f"line {lineno}: unknown record {kind!r}")
+    return g
+
+
+def write_graph(graph: Graph, handle: TextIO) -> None:
+    handle.write(dumps(graph))
+
+
+def read_graph(handle: TextIO) -> Graph:
+    return loads(handle.read())
+
+
+def read_edge_list(text: str) -> Graph:
+    """Parse a plain 'u v' per-line edge list (isolated vertices: 'u')."""
+    g = Graph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            g.add_vertex(_parse_vertex_id(parts[0]))
+        elif len(parts) == 2:
+            g.add_edge(_parse_vertex_id(parts[0]), _parse_vertex_id(parts[1]))
+        else:
+            raise GraphError(f"line {lineno}: expected 'u v'")
+    return g
+
+
+def to_dot(graph: Graph, name: str = "G") -> str:
+    """Graphviz DOT export (labels comma-joined, weights as attributes)."""
+    lines = [f"graph {name} {{"]
+    for v in graph.vertices():
+        attrs = []
+        labels = sorted(graph.vertex_labels(v))
+        if labels:
+            attrs.append(f'label="{v}\\n{",".join(labels)}"')
+        if graph.vertex_weight(v) != 1:
+            attrs.append(f'weight={graph.vertex_weight(v)}')
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{v}"{suffix};')
+    for u, v in graph.edges():
+        attrs = []
+        labels = sorted(graph.edge_labels(u, v))
+        if labels:
+            attrs.append(f'label="{",".join(labels)}"')
+        if graph.edge_weight(u, v) != 1:
+            attrs.append(f"weight={graph.edge_weight(u, v)}")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{u}" -- "{v}"{suffix};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,100 @@
+"""Graph operations: complement, line graph, products, subdivision.
+
+These are used for cross-validation (e.g. chromatic index of G equals the
+chromatic number of its line graph) and for building benchmark families.
+"""
+
+from __future__ import annotations
+
+
+from ..errors import GraphError
+from .graph import Graph, Vertex, canonical_edge
+
+
+def complement(graph: Graph) -> Graph:
+    """The complement graph on the same vertex set."""
+    out = Graph(graph.vertices())
+    vertices = graph.vertices()
+    for i, u in enumerate(vertices):
+        for v in vertices[i + 1:]:
+            if not graph.has_edge(u, v):
+                out.add_edge(u, v)
+    return out
+
+
+def line_graph(graph: Graph) -> Graph:
+    """The line graph: vertices are G's edges; adjacency = shared endpoint.
+
+    Vertex names are the canonical edge tuples of G.
+    """
+    edges = graph.edges()
+    out = Graph(edges)
+    for i, e in enumerate(edges):
+        for f in edges[i + 1:]:
+            if set(e) & set(f):
+                out.add_edge(e, f)
+    return out
+
+
+def subdivision(graph: Graph) -> Graph:
+    """Subdivide every edge once (new midpoint vertices as edge tuples).
+
+    Subdivision preserves planarity and H-minor-freeness; the result is
+    bipartite.
+    """
+    out = Graph(graph.vertices())
+    for u, v in graph.edges():
+        mid = ("mid",) + canonical_edge(u, v)
+        out.add_vertex(mid)
+        out.add_edge(u, mid)
+        out.add_edge(mid, v)
+    return out
+
+
+def cartesian_product(a: Graph, b: Graph) -> Graph:
+    """The Cartesian product a □ b (grids = path □ path)."""
+    out = Graph((u, v) for u in a.vertices() for v in b.vertices())
+    for u in a.vertices():
+        for v1, v2 in b.edges():
+            out.add_edge((u, v1), (u, v2))
+    for v in b.vertices():
+        for u1, u2 in a.edges():
+            out.add_edge((u1, v), (u2, v))
+    return out
+
+
+def contract_edge(graph: Graph, u: Vertex, v: Vertex) -> Graph:
+    """Contract edge {u, v}: v's neighbors transfer to u; v disappears.
+
+    Labels/weights of the surviving vertex are kept; parallel edges merge
+    (simple-graph semantics).  Building block for minor checks.
+    """
+    if not graph.has_edge(u, v):
+        raise GraphError(f"cannot contract non-edge ({u!r}, {v!r})")
+    out = graph.copy()
+    for w in graph.neighbors(v):
+        if w != u:
+            out.add_edge(u, w)
+    out.remove_vertex(v)
+    return out
+
+
+def has_minor(graph: Graph, pattern: Graph) -> bool:
+    """Does ``graph`` contain ``pattern`` as a minor?  (Brute force:
+    recursive edge deletion/contraction; tiny graphs only.)"""
+    from .properties import has_subgraph
+
+    if pattern.num_vertices() > graph.num_vertices():
+        return False
+    if pattern.num_edges() > graph.num_edges():
+        return False
+    if has_subgraph(graph, pattern):
+        return True
+    for u, v in graph.edges():
+        if has_minor(contract_edge(graph, u, v), pattern):
+            return True
+        smaller = graph.copy()
+        smaller.remove_edge(u, v)
+        if has_minor(smaller, pattern):
+            return True
+    return False

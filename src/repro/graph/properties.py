@@ -1,0 +1,430 @@
+"""Exact (brute-force) graph property checkers.
+
+These are the *ground truth* oracles the test suite and benchmarks compare
+the MSO engine and the distributed protocols against.  They are exponential
+where the problem is NP-hard, so they are intended for small instances only;
+callers in the benchmark harness keep n modest.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from .graph import Edge, Graph, Vertex, canonical_edge
+
+
+# ----------------------------------------------------------------------
+# Set-shaped predicates (used both directly and via MSO)
+# ----------------------------------------------------------------------
+
+def is_independent_set(graph: Graph, subset: Iterable[Vertex]) -> bool:
+    s = set(subset)
+    return all(not graph.has_edge(u, v) for u, v in combinations(sorted(s), 2))
+
+
+def is_clique(graph: Graph, subset: Iterable[Vertex]) -> bool:
+    s = sorted(set(subset))
+    return all(graph.has_edge(u, v) for u, v in combinations(s, 2))
+
+
+def is_vertex_cover(graph: Graph, subset: Iterable[Vertex]) -> bool:
+    s = set(subset)
+    return all(u in s or v in s for u, v in graph.edges())
+
+
+def is_dominating_set(graph: Graph, subset: Iterable[Vertex]) -> bool:
+    s = set(subset)
+    return all(v in s or any(u in s for u in graph.neighbors(v)) for v in graph)
+
+
+def is_feedback_vertex_set(graph: Graph, subset: Iterable[Vertex]) -> bool:
+    return is_acyclic(graph.without_vertices(subset))
+
+
+def is_matching(graph: Graph, edge_subset: Iterable[Edge]) -> bool:
+    seen: Set[Vertex] = set()
+    for u, v in edge_subset:
+        if not graph.has_edge(u, v):
+            return False
+        if u in seen or v in seen:
+            return False
+        seen.add(u)
+        seen.add(v)
+    return True
+
+
+def is_perfect_matching(graph: Graph, edge_subset: Iterable[Edge]) -> bool:
+    edge_list = list(edge_subset)
+    if not is_matching(graph, edge_list):
+        return False
+    return 2 * len(edge_list) == graph.num_vertices()
+
+
+def is_spanning_tree(graph: Graph, edge_subset: Iterable[Edge]) -> bool:
+    """Does ``edge_subset`` form a spanning tree of ``graph``?"""
+    edge_list = [canonical_edge(u, v) for u, v in edge_subset]
+    if len(set(edge_list)) != len(edge_list):
+        return False
+    if any(not graph.has_edge(u, v) for u, v in edge_list):
+        return False
+    n = graph.num_vertices()
+    if n == 0:
+        return not edge_list
+    if len(edge_list) != n - 1:
+        return False
+    sub = Graph(graph.vertices(), edge_list)
+    return sub.is_connected()
+
+
+# ----------------------------------------------------------------------
+# Structure
+# ----------------------------------------------------------------------
+
+def is_acyclic(graph: Graph) -> bool:
+    """Is the graph a forest?  (n - #components == m)"""
+    return graph.num_edges() == graph.num_vertices() - len(graph.connected_components())
+
+
+def is_regular(graph: Graph) -> bool:
+    degrees = {graph.degree(v) for v in graph}
+    return len(degrees) <= 1
+
+
+def max_degree(graph: Graph) -> int:
+    return max((graph.degree(v) for v in graph), default=0)
+
+
+# ----------------------------------------------------------------------
+# Coloring
+# ----------------------------------------------------------------------
+
+def is_k_colorable(graph: Graph, k: int) -> bool:
+    """Backtracking k-colorability test."""
+    if k < 0:
+        return False
+    order = sorted(graph.vertices(), key=lambda v: -graph.degree(v))
+    color: Dict[Vertex, int] = {}
+
+    def place(i: int) -> bool:
+        if i == len(order):
+            return True
+        v = order[i]
+        used = {color[u] for u in graph.neighbors(v) if u in color}
+        for c in range(k):
+            if c in used:
+                continue
+            color[v] = c
+            if place(i + 1):
+                return True
+            del color[v]
+        return False
+
+    return place(0)
+
+
+def chromatic_number(graph: Graph) -> int:
+    if graph.num_vertices() == 0:
+        return 0
+    k = 1
+    while not is_k_colorable(graph, k):
+        k += 1
+    return k
+
+
+def is_proper_coloring(graph: Graph, color: Dict[Vertex, int]) -> bool:
+    return all(color[u] != color[v] for u, v in graph.edges())
+
+
+# ----------------------------------------------------------------------
+# Optimization ground truths (brute force / branch and bound)
+# ----------------------------------------------------------------------
+
+def _best_vertex_subset(
+    graph: Graph,
+    feasible: Callable[[Set[Vertex]], bool],
+    maximize: bool,
+    weight: Optional[Callable[[Vertex], int]] = None,
+) -> Tuple[Optional[int], Optional[FrozenSet[Vertex]]]:
+    """Exhaustively find the best-weight feasible vertex subset.
+
+    Returns ``(weight, subset)`` or ``(None, None)`` if nothing is feasible.
+    """
+    w = weight or (lambda _v: 1)
+    vertices = graph.vertices()
+    best_val: Optional[int] = None
+    best_set: Optional[FrozenSet[Vertex]] = None
+    for mask in range(1 << len(vertices)):
+        subset = {vertices[i] for i in range(len(vertices)) if mask >> i & 1}
+        if not feasible(subset):
+            continue
+        val = sum(w(v) for v in subset)
+        if (
+            best_val is None
+            or (maximize and val > best_val)
+            or (not maximize and val < best_val)
+        ):
+            best_val = val
+            best_set = frozenset(subset)
+    return best_val, best_set
+
+
+def max_independent_set(
+    graph: Graph, weight: Optional[Callable[[Vertex], int]] = None
+) -> Tuple[int, FrozenSet[Vertex]]:
+    val, s = _best_vertex_subset(
+        graph, lambda sub: is_independent_set(graph, sub), maximize=True, weight=weight
+    )
+    assert val is not None and s is not None  # empty set is always independent
+    return val, s
+
+
+def min_vertex_cover(
+    graph: Graph, weight: Optional[Callable[[Vertex], int]] = None
+) -> Tuple[int, FrozenSet[Vertex]]:
+    val, s = _best_vertex_subset(
+        graph, lambda sub: is_vertex_cover(graph, sub), maximize=False, weight=weight
+    )
+    assert val is not None and s is not None  # V itself is always a cover
+    return val, s
+
+
+def min_dominating_set(
+    graph: Graph, weight: Optional[Callable[[Vertex], int]] = None
+) -> Tuple[int, FrozenSet[Vertex]]:
+    val, s = _best_vertex_subset(
+        graph, lambda sub: is_dominating_set(graph, sub), maximize=False, weight=weight
+    )
+    assert val is not None and s is not None  # V dominates itself
+    return val, s
+
+
+def min_connected_dominating_set(
+    graph: Graph,
+) -> Optional[Tuple[int, FrozenSet[Vertex]]]:
+    """Smallest nonempty dominating set inducing a connected subgraph.
+
+    Returns None when no such set exists (only for the empty graph).
+    """
+
+    def feasible(subset: Set[Vertex]) -> bool:
+        return (
+            bool(subset)
+            and is_dominating_set(graph, subset)
+            and graph.induced_subgraph(subset).is_connected()
+        )
+
+    val, s = _best_vertex_subset(graph, feasible, maximize=False)
+    if val is None or s is None:
+        return None
+    return val, s
+
+
+def min_feedback_vertex_set(graph: Graph) -> Tuple[int, FrozenSet[Vertex]]:
+    val, s = _best_vertex_subset(
+        graph, lambda sub: is_feedback_vertex_set(graph, sub), maximize=False
+    )
+    assert val is not None and s is not None
+    return val, s
+
+
+def max_matching_size(graph: Graph) -> int:
+    """Maximum matching size by exhaustive recursion over edges."""
+    edges = graph.edges()
+
+    def recurse(i: int, used: Set[Vertex]) -> int:
+        if i == len(edges):
+            return 0
+        best = recurse(i + 1, used)
+        u, v = edges[i]
+        if u not in used and v not in used:
+            used.add(u)
+            used.add(v)
+            best = max(best, 1 + recurse(i + 1, used))
+            used.discard(u)
+            used.discard(v)
+        return best
+
+    return recurse(0, set())
+
+
+def min_spanning_tree_weight(graph: Graph) -> Optional[int]:
+    """Kruskal's MST weight (edge weights default to 1); None if disconnected."""
+    if not graph.is_connected():
+        return None
+    parent: Dict[Vertex, Vertex] = {v: v for v in graph.vertices()}
+
+    def find(x: Vertex) -> Vertex:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0
+    for w_uv, u, v in sorted(
+        (graph.edge_weight(u, v), u, v) for u, v in graph.edges()
+    ):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            total += w_uv
+    return total
+
+
+# ----------------------------------------------------------------------
+# Subgraph containment and counting
+# ----------------------------------------------------------------------
+
+def _subgraph_embeddings(
+    graph: Graph, pattern: Graph, induced: bool
+) -> Iterable[Dict[Vertex, Vertex]]:
+    """Yield injective maps pattern -> graph preserving (non-)edges."""
+    p_vertices = pattern.vertices()
+
+    def extend(i: int, mapping: Dict[Vertex, Vertex], used: Set[Vertex]):
+        if i == len(p_vertices):
+            yield dict(mapping)
+            return
+        pv = p_vertices[i]
+        for gv in graph.vertices():
+            if gv in used:
+                continue
+            ok = True
+            for pu in p_vertices[:i]:
+                has_p = pattern.has_edge(pu, pv)
+                has_g = graph.has_edge(mapping[pu], gv)
+                if has_p and not has_g:
+                    ok = False
+                    break
+                if induced and not has_p and has_g:
+                    ok = False
+                    break
+            if ok:
+                mapping[pv] = gv
+                used.add(gv)
+                yield from extend(i + 1, mapping, used)
+                used.discard(gv)
+                del mapping[pv]
+
+    yield from extend(0, {}, set())
+
+
+def has_subgraph(graph: Graph, pattern: Graph, induced: bool = False) -> bool:
+    """Does ``graph`` contain ``pattern`` as a (not necessarily induced) subgraph?"""
+    for _ in _subgraph_embeddings(graph, pattern, induced):
+        return True
+    return False
+
+
+def count_subgraph_copies(graph: Graph, pattern: Graph, induced: bool = False) -> int:
+    """Number of *copies* of the pattern (embeddings / |Aut(pattern)|)."""
+    embeddings = sum(1 for _ in _subgraph_embeddings(graph, pattern, induced))
+    automorphisms = sum(1 for _ in _subgraph_embeddings(pattern, pattern, True))
+    assert embeddings % automorphisms == 0
+    return embeddings // automorphisms
+
+
+def count_triangles(graph: Graph) -> int:
+    """Number of triangles, by direct enumeration."""
+    count = 0
+    for u, v in graph.edges():
+        common = set(graph.neighbors(u)) & set(graph.neighbors(v))
+        count += sum(1 for w in common if w > v)
+    return count
+
+
+def can_partition_into_k_cliques(graph: Graph, k: int) -> bool:
+    """Can V be covered by k cliques?  (Equivalently: the complement graph
+    is k-colorable.)"""
+    complement = Graph(graph.vertices())
+    vertices = graph.vertices()
+    for i, u in enumerate(vertices):
+        for v in vertices[i + 1:]:
+            if not graph.has_edge(u, v):
+                complement.add_edge(u, v)
+    return is_k_colorable(complement, k)
+
+
+def chromatic_index_at_most(graph: Graph, k: int) -> bool:
+    """Can E be partitioned into k matchings?  Backtracking edge coloring."""
+    if k < 0:
+        return False
+    edges = graph.edges()
+    color: Dict[Edge, int] = {}
+
+    def conflicts(e: Edge, c: int) -> bool:
+        u, v = e
+        return any(
+            color.get(other) == c
+            for other in edges
+            if other in color and (u in other or v in other)
+        )
+
+    def place(i: int) -> bool:
+        if i == len(edges):
+            return True
+        e = edges[i]
+        for c in range(k):
+            if not conflicts(e, c):
+                color[e] = c
+                if place(i + 1):
+                    return True
+                del color[e]
+        return False
+
+    return place(0)
+
+
+def has_cubic_subgraph(graph: Graph) -> bool:
+    """Is there a nonempty edge subset whose support is 3-regular?"""
+    edges = graph.edges()
+    for mask in range(1, 1 << len(edges)):
+        subset = [edges[i] for i in range(len(edges)) if mask >> i & 1]
+        degrees: Dict[Vertex, int] = {}
+        for u, v in subset:
+            degrees[u] = degrees.get(u, 0) + 1
+            degrees[v] = degrees.get(v, 0) + 1
+        if all(d == 3 for d in degrees.values()):
+            return True
+    return False
+
+
+def has_hamiltonian_cycle(graph: Graph) -> bool:
+    n = graph.num_vertices()
+    if n < 3:
+        # A cycle requires at least three vertices (simple-graph convention).
+        return False
+    vertices = graph.vertices()
+    start = vertices[0]
+
+    def extend(current: Vertex, visited: Set[Vertex]) -> bool:
+        if len(visited) == n:
+            return graph.has_edge(current, start)
+        for u in graph.neighbors(current):
+            if u not in visited:
+                visited.add(u)
+                if extend(u, visited):
+                    return True
+                visited.discard(u)
+        return False
+
+    return extend(start, {start})
+
+
+def has_hamiltonian_path(graph: Graph) -> bool:
+    n = graph.num_vertices()
+    if n <= 1:
+        return True
+
+    def extend(current: Vertex, visited: Set[Vertex]) -> bool:
+        if len(visited) == n:
+            return True
+        for u in graph.neighbors(current):
+            if u not in visited:
+                visited.add(u)
+                if extend(u, visited):
+                    return True
+                visited.discard(u)
+        return False
+
+    return any(extend(v, {v}) for v in graph.vertices())

@@ -1,0 +1,5 @@
+"""Treedepth kernelization (Gajarský–Hliněný; the paper's §1 citation)."""
+
+from .types import Kernel, kernelize, subtree_signatures
+
+__all__ = ["Kernel", "kernelize", "subtree_signatures"]

@@ -1,0 +1,479 @@
+"""Catalog of MSO formulas for the problems the paper enumerates.
+
+Each function returns a closed formula, or a formula with the named free
+set variable for the optimization problems (Section 4.3: max-φ / min-φ).
+Formulas are written with the extended atoms of :mod:`repro.mso.syntax`
+where that keeps the compiled automata small; every extended atom is
+MSO-definable (see the atom docstrings), so nothing exceeds MSO₂ power.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graph import Graph
+from .syntax import (
+    Adj,
+    AllHaveLabel,
+    And,
+    EdgeCross,
+    EndpointsIn,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    HasLabel,
+    In,
+    Inc,
+    IncCounts,
+    NonEmpty,
+    Not,
+    Or,
+    Sort,
+    Subset,
+    Truth,
+    Var,
+    and_,
+    disjoint,
+    distinct,
+    edge,
+    edge_set,
+    exists,
+    forall,
+    implies,
+    or_,
+    vertex,
+    vertex_set,
+)
+
+
+# ----------------------------------------------------------------------
+# Fixed-pattern containment (FO)
+# ----------------------------------------------------------------------
+
+def contains_subgraph(pattern: Graph, induced: bool = False) -> Formula:
+    """φ_H of Corollary 7.3: G contains a copy of ``pattern``.
+
+    Uses the :class:`~repro.mso.syntax.ContainsPattern` extended atom
+    (a direct partial-embedding automaton); the literal quantifier form is
+    :func:`contains_subgraph_fo`, kept for cross-validation.
+    """
+    from .syntax import pattern_atom
+
+    return pattern_atom(pattern, induced=induced)
+
+
+def contains_subgraph_fo(pattern: Graph, induced: bool = False) -> Formula:
+    """The paper's literal φ_H: one existential vertex variable per pattern
+    vertex, adjacency forced on pattern edges, non-adjacency on non-edges
+    if ``induced``, pairwise distinctness."""
+    p_vertices = pattern.vertices()
+    xs = {v: vertex(f"x{v}") for v in p_vertices}
+    constraints = [distinct(*xs.values())]
+    for i, u in enumerate(p_vertices):
+        for v in p_vertices[i + 1:]:
+            if pattern.has_edge(u, v):
+                constraints.append(Adj(xs[u], xs[v]))
+            elif induced:
+                constraints.append(Not(Adj(xs[u], xs[v])))
+    return exists(list(xs.values()), and_(*constraints))
+
+
+def h_free(pattern: Graph, induced: bool = False) -> Formula:
+    """G is H-free (no copy of ``pattern``)."""
+    return Not(contains_subgraph(pattern, induced=induced))
+
+
+def triangle_free() -> Formula:
+    """The paper's Section 1 example: ¬∃x₁x₂x₃ (adj ∧ adj ∧ adj)."""
+    x1, x2, x3 = vertex("x1"), vertex("x2"), vertex("x3")
+    return Not(
+        exists([x1, x2, x3], and_(Adj(x1, x2), Adj(x2, x3), Adj(x3, x1)))
+    )
+
+
+def triangle_assignment() -> tuple:
+    """(formula, variables) for counting triangles as ordered triples."""
+    x1, x2, x3 = vertex("x1"), vertex("x2"), vertex("x3")
+    return and_(Adj(x1, x2), Adj(x2, x3), Adj(x3, x1)), (x1, x2, x3)
+
+
+def exists_vertex_of_degree_greater(k: int) -> Formula:
+    """"There is a vertex of degree > k" — the Section 1.1 FO predicate
+    witnessing that the meta-theorem cannot extend beyond bounded treedepth.
+    """
+    from .syntax import GraphDegrees
+
+    return Not(GraphDegrees(frozenset(range(k + 1)), cap=k + 1))
+
+
+def exists_vertex_of_degree_greater_fo(k: int) -> Formula:
+    """The literal quantifier form of the degree predicate."""
+    x = vertex("x")
+    ys = [vertex(f"y{i}") for i in range(k + 1)]
+    return exists(
+        [x] + ys, and_(distinct(*ys), *(Adj(x, y) for y in ys))
+    )
+
+
+# ----------------------------------------------------------------------
+# Global structure (genuinely MSO)
+# ----------------------------------------------------------------------
+
+def acyclic() -> Formula:
+    """G is a forest: no nonempty edge set where every vertex has capped
+    degree in {0, 2, 3+} (such a set must contain a cycle and vice versa)."""
+    c = edge_set("C")
+    return Not(Exists(c, and_(NonEmpty(c), IncCounts(c, frozenset({0, 2, 3})))))
+
+
+def acyclic_textbook() -> Formula:
+    """The paper's Section 1 acyclicity formula, verbatim:
+    ¬∃X≠∅ ∀x∈X ∃y₁y₂∈X (y₁≠y₂ ∧ adj(x,y₁) ∧ adj(x,y₂))."""
+    big_x = vertex_set("X")
+    x, y1, y2 = vertex("x"), vertex("y1"), vertex("y2")
+    inner = exists(
+        [y1, y2],
+        and_(In(y1, big_x), In(y2, big_x), Not(Eq(y1, y2)), Adj(x, y1), Adj(x, y2)),
+    )
+    return Not(
+        Exists(big_x, and_(NonEmpty(big_x), forall(x, implies(In(x, big_x), inner))))
+    )
+
+
+def connected() -> Formula:
+    """G is connected: no partition into two nonempty sides without a
+    crossing edge."""
+    from .syntax import AllVerticesIn
+
+    a, b = vertex_set("A"), vertex_set("B")
+    return Not(
+        exists(
+            [a, b],
+            and_(
+                AllVerticesIn((a, b)),
+                disjoint(a, b),
+                NonEmpty(a),
+                NonEmpty(b),
+                Not(Adj(a, b)),
+            ),
+        )
+    )
+
+
+def connected_via(edges_var: Var) -> Formula:
+    """All vertices of G lie in one component of the subgraph (V, edges_var)."""
+    from .syntax import AllVerticesIn
+
+    a, b = vertex_set("Ac"), vertex_set("Bc")
+    return Not(
+        exists(
+            [a, b],
+            and_(
+                AllVerticesIn((a, b)),
+                disjoint(a, b),
+                NonEmpty(a),
+                NonEmpty(b),
+                Not(EdgeCross(edges_var, a, b)),
+            ),
+        )
+    )
+
+
+def connected_subset(s: Optional[Var] = None) -> Formula:
+    """φ(S): the subgraph induced by the vertex set S is connected.
+
+    No bipartition (A, B) of S with both sides nonempty and no crossing
+    edge — written entirely with extended atoms (no element quantifiers).
+    The empty set counts as connected.
+    """
+    s = s or vertex_set("S")
+    a, b = vertex_set("Ap"), vertex_set("Bp")
+    return Not(
+        exists(
+            [a, b],
+            and_(
+                Subset(a, (s,)),
+                Subset(b, (s,)),
+                Subset(s, (a, b)),
+                disjoint(a, b),
+                NonEmpty(a),
+                NonEmpty(b),
+                Not(Adj(a, b)),
+            ),
+        )
+    )
+
+
+def connected_dominating_set(s: Optional[Var] = None) -> Formula:
+    """φ(S): S is a dominating set inducing a connected subgraph.
+
+    min-φ is the minimum connected dominating set (virtual backbone
+    placement) — a showcase of composing catalog predicates.
+    """
+    s = s or vertex_set("S")
+    return and_(dominating_set(s), connected_subset(s), NonEmpty(s))
+
+
+def k_colorable(k: int) -> Formula:
+    """G admits a proper k-coloring: V covered by k independent sets."""
+    from .syntax import AllVerticesIn
+
+    classes = [vertex_set(f"Col{i}") for i in range(k)]
+    return exists(
+        classes,
+        and_(
+            AllVerticesIn(tuple(classes)),
+            *(Not(Adj(c, c)) for c in classes),
+        ),
+    )
+
+
+def not_k_colorable(k: int) -> Formula:
+    """The paper's flagship hard predicate (non-3-colorability for k=3)."""
+    return Not(k_colorable(k))
+
+
+def properly_2_labeled() -> Formula:
+    """The paper's labeled example: labels red/blue form a proper 2-coloring."""
+    x = vertex("x")
+    total = forall(x, or_(HasLabel(x, "red"), HasLabel(x, "blue")))
+    x2, y2 = vertex("x2"), vertex("y2")
+    clash = exists(
+        [x2, y2],
+        and_(
+            Adj(x2, y2),
+            or_(
+                and_(HasLabel(x2, "red"), HasLabel(y2, "red")),
+                and_(HasLabel(x2, "blue"), HasLabel(y2, "blue")),
+            ),
+        ),
+    )
+    return and_(total, Not(clash))
+
+
+def hamiltonian_cycle_exists() -> Formula:
+    """G has a Hamiltonian cycle: a spanning connected 2-regular edge set.
+
+    (For n < 3 this is false, matching the convention that a cycle needs at
+    least three vertices.)
+    """
+    s = edge_set("Ham")
+    return Exists(s, and_(IncCounts(s, frozenset({2})), connected_via(s)))
+
+
+# ----------------------------------------------------------------------
+# Optimization predicates φ(S) (Section 4.3)
+# ----------------------------------------------------------------------
+
+def independent_set(s: Optional[Var] = None) -> Formula:
+    """φ(S) = ∀x,y ∈ S ¬adj(x,y) — max-φ is maximum independent set."""
+    s = s or vertex_set("S")
+    return Not(Adj(s, s))
+
+
+def clique_set(s: Optional[Var] = None) -> Formula:
+    """φ(S): S induces a clique — max-φ is maximum clique."""
+    s = s or vertex_set("S")
+    x, y = vertex("xq"), vertex("yq")
+    return forall(
+        [x, y],
+        implies(and_(In(x, s), In(y, s), Not(Eq(x, y))), Adj(x, y)),
+    )
+
+
+def vertex_cover(s: Optional[Var] = None) -> Formula:
+    """φ(S): every edge has an endpoint in S — min-φ is minimum vertex cover."""
+    s = s or vertex_set("S")
+    e = edge("ec")
+    return forall(e, Inc(s, e))
+
+
+def dominating_set(s: Optional[Var] = None) -> Formula:
+    """φ(S): every vertex is in S or adjacent to S — min-φ is MDS."""
+    s = s or vertex_set("S")
+    x = vertex("xd")
+    return forall(x, or_(In(x, s), Adj(x, s)))
+
+
+def feedback_vertex_set(s: Optional[Var] = None) -> Formula:
+    """φ(S): G - S is acyclic (no cycle-support edge set avoiding S)."""
+    s = s or vertex_set("S")
+    c = edge_set("Cf")
+    return Not(
+        Exists(
+            c,
+            and_(NonEmpty(c), IncCounts(c, frozenset({0, 2, 3})), Not(Inc(s, c))),
+        )
+    )
+
+
+def matching(s: Optional[Var] = None) -> Formula:
+    """φ(S): edge set S is a matching — max-φ is maximum matching."""
+    s = s or edge_set("M")
+    return IncCounts(s, frozenset({0, 1}))
+
+
+def perfect_matching(s: Optional[Var] = None) -> Formula:
+    """φ(S): S is a perfect matching (every vertex covered exactly once)."""
+    s = s or edge_set("M")
+    return IncCounts(s, frozenset({1}))
+
+
+def has_perfect_matching() -> Formula:
+    s = edge_set("M")
+    return Exists(s, perfect_matching(s))
+
+
+def spanning_tree(s: Optional[Var] = None) -> Formula:
+    """φ(S): S is a spanning tree: acyclic and connecting all of V.
+
+    min-φ with edge weights is the paper's minimum spanning tree example.
+    """
+    s = s or edge_set("T")
+    c = edge_set("Ct")
+    no_cycle = Not(
+        Exists(
+            c,
+            and_(
+                NonEmpty(c),
+                Subset(c, (s,)),
+                IncCounts(c, frozenset({0, 2, 3})),
+            ),
+        )
+    )
+    return and_(connected_via(s), no_cycle)
+
+
+def dominated_reds_by_blues(s: Optional[Var] = None) -> Formula:
+    """The paper's Section 6 labeled optimization example: S is a set of
+    blue vertices dominating every red vertex (min-φ = smallest such S)."""
+    s = s or vertex_set("S")
+    y = vertex("yr")
+    return and_(
+        AllHaveLabel(s, "blue"),
+        forall(y, implies(HasLabel(y, "red"), Adj(y, s))),
+    )
+
+
+def contains_minor(pattern: Graph) -> Formula:
+    """G contains ``pattern`` as a minor (branch-set formulation).
+
+    One nonempty, connected, pairwise-disjoint vertex set per pattern
+    vertex, with a crossing edge for every pattern edge — the textbook
+    MSO₂ definition of minor containment, one of the paper's Section 1.1
+    problems.
+    """
+    p_vertices = pattern.vertices()
+    branch = {v: vertex_set(f"B{v}") for v in p_vertices}
+    constraints = []
+    for v in p_vertices:
+        constraints.append(NonEmpty(branch[v]))
+        constraints.append(connected_subset(branch[v]))
+    for i, u in enumerate(p_vertices):
+        for v in p_vertices[i + 1:]:
+            constraints.append(disjoint(branch[u], branch[v]))
+            if pattern.has_edge(u, v):
+                constraints.append(Adj(branch[u], branch[v]))
+    return exists(list(branch.values()), and_(*constraints))
+
+
+def minor_free(pattern: Graph) -> Formula:
+    """G excludes ``pattern`` as a minor."""
+    return Not(contains_minor(pattern))
+
+
+def partition_into_k_cliques(k: int) -> Formula:
+    """V can be covered by k cliques (= complement is k-colorable); one of
+    the paper's Section 1.1 problems."""
+    from .syntax import AllVerticesIn, IsClique
+
+    classes = [vertex_set(f"Q{i}") for i in range(k)]
+    return exists(
+        classes,
+        and_(AllVerticesIn(tuple(classes)), *(IsClique(c) for c in classes)),
+    )
+
+
+def edge_k_colorable(k: int) -> Formula:
+    """E can be covered by k matchings (chromatic index <= k); the paper's
+    "edge k-colorability"."""
+    from .syntax import AllEdgesIn
+
+    classes = [edge_set(f"M{i}") for i in range(k)]
+    return exists(
+        classes,
+        and_(
+            AllEdgesIn(tuple(classes)),
+            *(IncCounts(c, frozenset({0, 1})) for c in classes),
+        ),
+    )
+
+
+def has_even_subgraph() -> Formula:
+    """G has a nonempty edge set with all degrees even (an Eulerian /
+    cycle-space element) — true iff G contains a cycle."""
+    from .syntax import IncParity
+
+    s = edge_set("Ev")
+    return Exists(s, and_(NonEmpty(s), IncParity(s, even=True)))
+
+
+def has_cubic_subgraph() -> Formula:
+    """G has a nonempty edge set whose support is 3-regular (the paper's
+    "cubic subgraph")."""
+    s = edge_set("Cu")
+    return Exists(
+        s, and_(NonEmpty(s), IncCounts(s, frozenset({0, 3}), cap=4))
+    )
+
+
+def max_clique_set(s: Optional[Var] = None) -> Formula:
+    """φ(S): S is a clique, via the direct clique atom — max-φ is maximum
+    clique without the two element quantifiers of :func:`clique_set`."""
+    from .syntax import IsClique
+
+    s = s or vertex_set("S")
+    return IsClique(s)
+
+
+def steiner_connector(s: Optional[Var] = None, label: str = "terminal") -> Formula:
+    """φ(S): the edge set S connects every ``label``-ed terminal.
+
+    There is no vertex bipartition (A, B) with a terminal on each side and
+    no S-edge crossing.  min-φ with edge weights is the paper's Steiner
+    tree problem (an optimal connector is always a tree).
+    """
+    from .syntax import AllVerticesIn
+
+    s = s or edge_set("St")
+    a, b = vertex_set("As"), vertex_set("Bs")
+    return Not(
+        exists(
+            [a, b],
+            and_(
+                AllVerticesIn((a, b)),
+                disjoint(a, b),
+                HasLabel(a, label),
+                HasLabel(b, label),
+                Not(EdgeCross(s, a, b)),
+            ),
+        )
+    )
+
+
+def induced_forest(s: Optional[Var] = None) -> Formula:
+    """φ(S): S induces a forest — max-φ is maximum induced forest
+    (complement of minimum FVS)."""
+    s = s or vertex_set("S")
+    c = edge_set("Ci")
+    return Not(
+        Exists(
+            c,
+            and_(
+                NonEmpty(c),
+                IncCounts(c, frozenset({0, 2, 3})),
+                EndpointsIn(c, s),
+            ),
+        )
+    )

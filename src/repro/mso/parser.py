@@ -1,0 +1,357 @@
+"""A small text syntax for MSO formulas.
+
+Example::
+
+    parse("forall x:V . exists y:V . adj(x, y)")
+    parse("exists X:VS . (nonempty(X) & !adj(X, X))")
+    parse("x in S | adj(x, S)", free={"x": Sort.VERTEX, "S": Sort.VERTEX_SET})
+
+Grammar (precedence low to high: <->, ->, |, &, !)::
+
+    formula  := quant | iff
+    quant    := ('exists' | 'forall') decl (',' decl)* '.' formula
+    decl     := NAME ':' ('V' | 'E' | 'VS' | 'ES')
+    iff      := imp ('<->' imp)*
+    imp      := or ('->' imp)?          # right associative
+    or       := and ('|' and)*
+    and      := unary ('&' unary)*
+    unary    := '!' unary | '(' formula ')' | quant | atom
+    atom     := 'true' | 'false'
+              | 'adj' '(' t ',' t ')' | 'inc' '(' t ',' t ')'
+              | 'nonempty' '(' t ')' | 'subset' '(' t ',' t {',' t} ')'
+              | 'label' '(' NAME ',' t ')' | 'alllabel' '(' NAME ',' t ')'
+              | 'degrees' '(' t ',' '{' INT {',' INT} '}' [',' t] ')'
+              | 'crosses' '(' t ',' t ',' t ')' | 'touches' '(' t ',' t ')'
+              | 'endpoints' '(' t ',' t ')'
+              | t '=' t | t 'in' t
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import FormulaError
+from . import syntax as sx
+from .syntax import Formula, Sort, Var
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow2><->)|(?P<arrow>->)|(?P<sym>[().,:{}=!&|])|"
+    r"(?P<int>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*))"
+)
+
+_SORT_NAMES = {
+    "V": Sort.VERTEX,
+    "E": Sort.EDGE,
+    "VS": Sort.VERTEX_SET,
+    "ES": Sort.EDGE_SET,
+}
+
+_KEYWORDS = {
+    "exists",
+    "forall",
+    "in",
+    "true",
+    "false",
+    "adj",
+    "inc",
+    "nonempty",
+    "subset",
+    "label",
+    "alllabel",
+    "degrees",
+    "crosses",
+    "touches",
+    "endpoints",
+    "intersects",
+    "covers",
+    "edgecovers",
+    "parity",
+    "clique",
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            if text[pos:].strip():
+                raise FormulaError(f"cannot tokenize {text[pos:]!r}")
+            break
+        pos = match.end()
+        for kind in ("arrow2", "arrow", "sym", "int", "name"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], free: Dict[str, Var]):
+        self._tokens = tokens
+        self._pos = 0
+        self._scope: Dict[str, Var] = dict(free)
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Tuple[str, str]:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _expect(self, value: str) -> None:
+        kind, got = self._next()
+        if got != value:
+            raise FormulaError(f"expected {value!r}, got {got!r}")
+
+    def _at(self, value: str) -> bool:
+        return self._peek()[1] == value
+
+    def _eat(self, value: str) -> bool:
+        if self._at(value):
+            self._next()
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Formula:
+        f = self._formula()
+        if self._peek()[0] != "eof":
+            raise FormulaError(f"trailing input at {self._peek()[1]!r}")
+        return f
+
+    def _formula(self) -> Formula:
+        if self._at("exists") or self._at("forall"):
+            return self._quantified()
+        return self._iff()
+
+    def _quantified(self) -> Formula:
+        _, kw = self._next()
+        decls: List[Var] = []
+        while True:
+            kind, name = self._next()
+            if kind != "name" or name in _KEYWORDS:
+                raise FormulaError(f"expected variable name, got {name!r}")
+            self._expect(":")
+            _, sort_name = self._next()
+            if sort_name not in _SORT_NAMES:
+                raise FormulaError(f"unknown sort {sort_name!r} (use V, E, VS, ES)")
+            decls.append(Var(name, _SORT_NAMES[sort_name]))
+            if not self._eat(","):
+                break
+        self._expect(".")
+        saved = dict(self._scope)
+        for v in decls:
+            self._scope[v.name] = v
+        body = self._formula()
+        self._scope = saved
+        builder = sx.exists if kw == "exists" else sx.forall
+        return builder(decls, body)
+
+    def _iff(self) -> Formula:
+        left = self._imp()
+        while self._eat("<->"):
+            right = self._imp()
+            left = sx.iff(left, right)
+        return left
+
+    def _imp(self) -> Formula:
+        left = self._or()
+        if self._eat("->"):
+            right = self._imp()
+            return sx.implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        parts = [self._and()]
+        while self._eat("|"):
+            parts.append(self._and())
+        return sx.or_(*parts) if len(parts) > 1 else parts[0]
+
+    def _and(self) -> Formula:
+        parts = [self._unary()]
+        while self._eat("&"):
+            parts.append(self._unary())
+        return sx.and_(*parts) if len(parts) > 1 else parts[0]
+
+    def _unary(self) -> Formula:
+        if self._eat("!"):
+            return sx.Not(self._unary())
+        if self._eat("("):
+            inner = self._formula()
+            self._expect(")")
+            return inner
+        if self._at("exists") or self._at("forall"):
+            return self._quantified()
+        return self._atom()
+
+    def _var(self) -> Var:
+        kind, name = self._next()
+        if kind != "name":
+            raise FormulaError(f"expected variable, got {name!r}")
+        if name not in self._scope:
+            raise FormulaError(f"unknown variable {name!r}")
+        return self._scope[name]
+
+    def _atom(self) -> Formula:
+        kind, value = self._peek()
+        if value == "true":
+            self._next()
+            return sx.Truth(True)
+        if value == "false":
+            self._next()
+            return sx.Truth(False)
+        if value == "adj":
+            x, y = self._two_args()
+            return sx.Adj(x, y)
+        if value == "inc":
+            x, e = self._two_args()
+            return sx.Inc(x, e)
+        if value == "nonempty":
+            self._next()
+            self._expect("(")
+            a = self._var()
+            self._expect(")")
+            return sx.NonEmpty(a)
+        if value == "subset":
+            self._next()
+            self._expect("(")
+            a = self._var()
+            supersets = []
+            while self._eat(","):
+                supersets.append(self._var())
+            self._expect(")")
+            if not supersets:
+                raise FormulaError("subset needs at least one superset")
+            return sx.Subset(a, tuple(supersets))
+        if value in ("label", "alllabel"):
+            self._next()
+            self._expect("(")
+            _, label = self._next()
+            self._expect(",")
+            a = self._var()
+            self._expect(")")
+            cls = sx.HasLabel if value == "label" else sx.AllHaveLabel
+            return cls(a, label)
+        if value == "degrees":
+            return self._degrees()
+        if value == "intersects":
+            a, b = self._two_args()
+            return sx.SetsIntersect(a, b)
+        if value in ("covers", "edgecovers"):
+            cls = sx.AllVerticesIn if value == "covers" else sx.AllEdgesIn
+            self._next()
+            self._expect("(")
+            sets = [self._var()]
+            while self._eat(","):
+                sets.append(self._var())
+            self._expect(")")
+            return cls(tuple(sets))
+        if value == "parity":
+            return self._parity()
+        if value == "clique":
+            self._next()
+            self._expect("(")
+            x = self._var()
+            self._expect(")")
+            return sx.IsClique(x)
+        if value == "crosses":
+            self._next()
+            self._expect("(")
+            e = self._var()
+            self._expect(",")
+            x = self._var()
+            self._expect(",")
+            y = self._var()
+            self._expect(")")
+            return sx.EdgeCross(e, x, y)
+        if value == "touches":
+            e, x = self._two_args()
+            return sx.EdgeCross(e, x, None)
+        if value == "endpoints":
+            e, x = self._two_args()
+            return sx.EndpointsIn(e, x)
+        # Fall through: term '=' term or term 'in' term.
+        a = self._var()
+        if self._eat("="):
+            return sx.Eq(a, self._var())
+        if self._eat("in"):
+            return sx.In(a, self._var())
+        raise FormulaError(f"expected '=' or 'in' after {a.name!r}")
+
+    def _two_args(self) -> Tuple[Var, Var]:
+        self._next()
+        self._expect("(")
+        a = self._var()
+        self._expect(",")
+        b = self._var()
+        self._expect(")")
+        return a, b
+
+    def _degrees(self) -> Formula:
+        # degrees(E, {classes} [, within] [, cap=K])
+        self._next()
+        self._expect("(")
+        e = self._var()
+        self._expect(",")
+        self._expect("{")
+        allowed = set()
+        while True:
+            kind, num = self._next()
+            if kind != "int":
+                raise FormulaError(f"expected count class, got {num!r}")
+            allowed.add(int(num))
+            if not self._eat(","):
+                break
+        self._expect("}")
+        within: Optional[Var] = None
+        cap = 3
+        while self._eat(","):
+            if self._at("cap"):
+                self._next()
+                self._expect("=")
+                kind, num = self._next()
+                if kind != "int":
+                    raise FormulaError(f"expected cap value, got {num!r}")
+                cap = int(num)
+            else:
+                within = self._var()
+        self._expect(")")
+        return sx.IncCounts(e, frozenset(allowed), within, cap=cap)
+
+    def _parity(self) -> Formula:
+        # parity(E, even|odd [, within])
+        self._next()
+        self._expect("(")
+        e = self._var()
+        self._expect(",")
+        kind, word = self._next()
+        if word not in ("even", "odd"):
+            raise FormulaError(f"expected 'even' or 'odd', got {word!r}")
+        within: Optional[Var] = None
+        if self._eat(","):
+            within = self._var()
+        self._expect(")")
+        return sx.IncParity(e, even=word == "even", within=within)
+
+
+def parse(
+    text: str, free: Optional[Mapping[str, Union[Var, Sort]]] = None
+) -> Formula:
+    """Parse ``text`` into a formula.
+
+    ``free`` declares free variables: a mapping from name to either a
+    :class:`Var` or just a :class:`Sort`.  The result is validated.
+    """
+    declared: Dict[str, Var] = {}
+    for name, spec in (free or {}).items():
+        declared[name] = spec if isinstance(spec, Var) else Var(name, spec)
+    formula = _Parser(_tokenize(text), declared).parse()
+    sx.validate(formula, allowed_free=declared.values())
+    return formula

@@ -1,0 +1,247 @@
+"""Brute-force MSO semantics: the ground-truth model checker.
+
+``evaluate`` interprets a formula on a graph by exhaustive enumeration —
+set quantifiers enumerate all 2^n subsets — so it is only usable on small
+graphs.  Its role is to be *obviously correct*: the Courcelle engine and the
+distributed protocols are property-tested against it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Union
+
+from ..errors import FormulaError
+from ..graph import Graph
+from . import syntax as sx
+
+# An assignment value: a vertex, an edge tuple, or a frozenset of either.
+Value = Union[Any, FrozenSet[Any]]
+Assignment = Dict[sx.Var, Value]
+
+
+def _as_set(value: Value) -> FrozenSet[Any]:
+    """View an element value as the singleton set containing it."""
+    if isinstance(value, frozenset):
+        return value
+    return frozenset({value})
+
+
+def _subsets(items: Iterable[Any]) -> Iterator[FrozenSet[Any]]:
+    items = list(items)
+    for r in range(len(items) + 1):
+        for combo in combinations(items, r):
+            yield frozenset(combo)
+
+
+def _domain(graph: Graph, sort: sx.Sort) -> Iterator[Value]:
+    if sort == sx.Sort.VERTEX:
+        return iter(graph.vertices())
+    if sort == sx.Sort.EDGE:
+        return iter(graph.edges())
+    if sort == sx.Sort.VERTEX_SET:
+        return _subsets(graph.vertices())
+    if sort == sx.Sort.EDGE_SET:
+        return _subsets(graph.edges())
+    raise FormulaError(f"unknown sort {sort!r}")
+
+
+def _cross_edge_exists(
+    graph: Graph,
+    edges: Iterable[tuple],
+    xs: FrozenSet[Any],
+    ys: Optional[FrozenSet[Any]],
+) -> bool:
+    """Is there an edge in ``edges`` with one endpoint in xs and (if given)
+    the other in ys?"""
+    for u, v in edges:
+        for a, b in ((u, v), (v, u)):
+            if a in xs and (ys is None or b in ys):
+                return True
+    return False
+
+
+def evaluate(
+    graph: Graph,
+    formula: sx.Formula,
+    assignment: Optional[Mapping[sx.Var, Value]] = None,
+) -> bool:
+    """Evaluate ``formula`` on ``graph`` under ``assignment`` for free vars."""
+    env: Assignment = dict(assignment or {})
+    sx.validate(formula, allowed_free=env.keys())
+    return _eval(graph, formula, env)
+
+
+def _eval(graph: Graph, f: sx.Formula, env: Assignment) -> bool:
+    if isinstance(f, sx.Truth):
+        return f.value
+    if isinstance(f, sx.Adj):
+        xs, ys = _as_set(env[f.x]), _as_set(env[f.y])
+        return _cross_edge_exists(graph, graph.edges(), xs, ys)
+    if isinstance(f, sx.Inc):
+        xs = _as_set(env[f.x])
+        es = _as_set(env[f.e])
+        return any(u in xs or v in xs for u, v in es)
+    if isinstance(f, sx.Eq):
+        return env[f.x] == env[f.y]
+    if isinstance(f, sx.In):
+        return env[f.x] in _as_set(env[f.s])
+    if isinstance(f, sx.Subset):
+        union: FrozenSet[Any] = frozenset()
+        for b in f.bs:
+            union |= _as_set(env[b])
+        return _as_set(env[f.a]) <= union
+    if isinstance(f, sx.SetsIntersect):
+        return bool(_as_set(env[f.a]) & _as_set(env[f.b]))
+    if isinstance(f, sx.AllVerticesIn):
+        union: FrozenSet[Any] = frozenset()
+        for b in f.bs:
+            union |= _as_set(env[b])
+        return all(v in union for v in graph.vertices())
+    if isinstance(f, sx.ContainsPattern):
+        from ..graph.properties import has_subgraph
+
+        return has_subgraph(graph, _pattern_graph(f), induced=f.induced)
+    if isinstance(f, sx.GraphDegrees):
+        return all(
+            min(graph.degree(v), f.cap) in f.allowed for v in graph.vertices()
+        )
+    if isinstance(f, sx.NonEmpty):
+        return bool(_as_set(env[f.a]))
+    if isinstance(f, sx.HasLabel):
+        return any(_has_label(graph, item, f.label) for item in _as_set(env[f.a]))
+    if isinstance(f, sx.AllHaveLabel):
+        return all(_has_label(graph, item, f.label) for item in _as_set(env[f.a]))
+    if isinstance(f, sx.EdgeCross):
+        es = _as_set(env[f.e])
+        xs = _as_set(env[f.x])
+        ys = _as_set(env[f.y]) if f.y is not None else None
+        return _cross_edge_exists(graph, es, xs, ys)
+    if isinstance(f, sx.IncCounts):
+        es = _as_set(env[f.e])
+        scope = _as_set(env[f.within]) if f.within is not None else graph.vertices()
+        for v in scope:
+            count = sum(1 for u, w in es if v in (u, w))
+            if min(count, f.cap) not in f.allowed:
+                return False
+        return True
+    if isinstance(f, sx.IncParity):
+        es = _as_set(env[f.e])
+        scope = _as_set(env[f.within]) if f.within is not None else graph.vertices()
+        want_parity = 0 if f.even else 1
+        return all(
+            sum(1 for u, w in es if v in (u, w)) % 2 == want_parity
+            for v in scope
+        )
+    if isinstance(f, sx.AllEdgesIn):
+        union: FrozenSet[Any] = frozenset()
+        for b in f.bs:
+            union |= _as_set(env[b])
+        return all(e in union for e in graph.edges())
+    if isinstance(f, sx.IsClique):
+        xs = sorted(_as_set(env[f.x]))
+        return all(
+            graph.has_edge(u, v)
+            for i, u in enumerate(xs)
+            for v in xs[i + 1:]
+        )
+    if isinstance(f, sx.EndpointsIn):
+        es = _as_set(env[f.e])
+        xs = _as_set(env[f.x])
+        return all(u in xs and v in xs for u, v in es)
+    if isinstance(f, sx.Not):
+        return not _eval(graph, f.inner, env)
+    if isinstance(f, sx.And):
+        return all(_eval(graph, p, env) for p in f.parts)
+    if isinstance(f, sx.Or):
+        return any(_eval(graph, p, env) for p in f.parts)
+    if isinstance(f, sx.Exists):
+        for value in _domain(graph, f.var.sort):
+            env[f.var] = value
+            if _eval(graph, f.body, env):
+                del env[f.var]
+                return True
+        env.pop(f.var, None)
+        return False
+    if isinstance(f, sx.Forall):
+        for value in _domain(graph, f.var.sort):
+            env[f.var] = value
+            if not _eval(graph, f.body, env):
+                del env[f.var]
+                return False
+        env.pop(f.var, None)
+        return True
+    raise FormulaError(f"unknown formula node {f!r}")
+
+
+def _pattern_graph(atom: "sx.ContainsPattern") -> Graph:
+    g = Graph(range(atom.num_vertices))
+    for i, j in atom.edges:
+        g.add_edge(i, j)
+    return g
+
+
+def _has_label(graph: Graph, item: Any, label: str) -> bool:
+    if isinstance(item, tuple):
+        return graph.has_edge_label(item[0], item[1], label)
+    return graph.has_vertex_label(item, label)
+
+
+def satisfying_assignments(
+    graph: Graph,
+    formula: sx.Formula,
+    variables: Iterable[sx.Var],
+) -> Iterator[Assignment]:
+    """Enumerate all assignments of ``variables`` satisfying ``formula``.
+
+    Ground truth for the counting problems of Section 6 (count-φ).
+    """
+    var_list = list(variables)
+    sx.validate(formula, allowed_free=var_list)
+
+    def recurse(i: int, env: Assignment) -> Iterator[Assignment]:
+        if i == len(var_list):
+            if _eval(graph, formula, dict(env)):
+                yield dict(env)
+            return
+        var = var_list[i]
+        for value in _domain(graph, var.sort):
+            env[var] = value
+            yield from recurse(i + 1, env)
+        env.pop(var, None)
+
+    yield from recurse(0, {})
+
+
+def count_satisfying_assignments(
+    graph: Graph, formula: sx.Formula, variables: Iterable[sx.Var]
+) -> int:
+    return sum(1 for _ in satisfying_assignments(graph, formula, variables))
+
+
+def optimize(
+    graph: Graph,
+    formula: sx.Formula,
+    var: sx.Var,
+    maximize: bool = True,
+    weight: Optional[Dict[Any, int]] = None,
+) -> Optional[tuple]:
+    """Brute-force max/min-weight set S with graph ⊨ φ(S).
+
+    Returns ``(weight, set)`` or ``None`` if no set satisfies φ.  Weights
+    default to 1 per item (cardinality).  Ground truth for Theorem 6.1's
+    optimization variant.
+    """
+    if not var.sort.is_set:
+        raise FormulaError("optimization requires a set variable")
+    sx.validate(formula, allowed_free=[var])
+    best: Optional[tuple] = None
+    for value in _domain(graph, var.sort):
+        if not _eval(graph, formula, {var: value}):
+            continue
+        total = sum((weight or {}).get(item, 1) for item in value)
+        if best is None or (maximize and total > best[0]) or (
+            not maximize and total < best[0]
+        ):
+            best = (total, value)
+    return best

@@ -1,0 +1,682 @@
+"""Abstract syntax for MSO₂ formulas on graphs.
+
+The logic is the paper's: first-order vertex/edge variables, monadic
+second-order vertex-set/edge-set variables, the binary predicates ``adj``
+and ``inc``, equality, membership, and unary label predicates (Section 6,
+"labeled graphs").
+
+In addition to the textbook atoms we provide *extended atoms* — ``Cross``,
+``EdgeCross``, ``Subset``, ``NonEmpty``, ``IncCounts``, ``EndpointsIn``,
+label atoms — each of which is MSO-definable (their definitions are given in
+the docstrings) but compiled directly to small automata.  Real Courcelle
+engines (MONA, Sequoia) do the same: without these the automata for
+catalog formulas like connectivity would pay several extra projection /
+determinization rounds for no semantic gain.
+
+All nodes are immutable and hashable; formulas are trees of dataclasses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+
+from ..errors import FormulaError
+
+
+class Sort(enum.Enum):
+    """Variable sorts.  Element sorts quantify over single vertices/edges;
+    set sorts over subsets."""
+
+    VERTEX = "vertex"
+    EDGE = "edge"
+    VERTEX_SET = "vertex_set"
+    EDGE_SET = "edge_set"
+
+    @property
+    def is_set(self) -> bool:
+        return self in (Sort.VERTEX_SET, Sort.EDGE_SET)
+
+    @property
+    def is_vertex_kind(self) -> bool:
+        return self in (Sort.VERTEX, Sort.VERTEX_SET)
+
+    @property
+    def element_sort(self) -> "Sort":
+        """The element sort underlying a set sort (identity on elements)."""
+        if self == Sort.VERTEX_SET:
+            return Sort.VERTEX
+        if self == Sort.EDGE_SET:
+            return Sort.EDGE
+        return self
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A typed variable."""
+
+    name: str
+    sort: Sort
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Formula:
+    """Base class for formula nodes (marker; nodes are dataclasses)."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+# ----------------------------------------------------------------------
+# Atoms
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Truth(Formula):
+    """The constant true/false."""
+
+    value: bool = True
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Adj(Formula):
+    """adj(x, y): some graph edge joins x and y.
+
+    Arguments may be vertex elements *or* vertex sets; on sets the meaning
+    is "some edge has one endpoint in x and the other in y" (which agrees
+    with textbook adj when both are singletons).
+    """
+
+    x: Var
+    y: Var
+
+    def __str__(self) -> str:
+        return f"adj({self.x}, {self.y})"
+
+
+@dataclass(frozen=True)
+class Inc(Formula):
+    """inc(x, e): vertex x is an endpoint of edge e.
+
+    On sets: some edge in e has an endpoint in x.
+    """
+
+    x: Var
+    e: Var
+
+    def __str__(self) -> str:
+        return f"inc({self.x}, {self.e})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """x = y for two element variables of the same sort."""
+
+    x: Var
+    y: Var
+
+    def __str__(self) -> str:
+        return f"({self.x} = {self.y})"
+
+
+@dataclass(frozen=True)
+class In(Formula):
+    """x ∈ S for an element variable and a matching set variable."""
+
+    x: Var
+    s: Var
+
+    def __str__(self) -> str:
+        return f"({self.x} ∈ {self.s})"
+
+
+@dataclass(frozen=True)
+class Subset(Formula):
+    """Extended atom: A ⊆ B₁ ∪ … ∪ B_m (all same element kind).
+
+    MSO definition: ∀x (x ∈ A → x ∈ B₁ ∨ … ∨ x ∈ B_m).
+    """
+
+    a: Var
+    bs: Tuple[Var, ...]
+
+    def __str__(self) -> str:
+        union = " ∪ ".join(str(b) for b in self.bs)
+        return f"({self.a} ⊆ {union})"
+
+
+@dataclass(frozen=True)
+class NonEmpty(Formula):
+    """Extended atom: A ≠ ∅.  MSO definition: ∃x (x ∈ A)."""
+
+    a: Var
+
+    def __str__(self) -> str:
+        return f"({self.a} ≠ ∅)"
+
+
+@dataclass(frozen=True)
+class HasLabel(Formula):
+    """Extended atom: some element of A carries ``label``.
+
+    For an element variable this is the paper's unary label predicate.
+    MSO definition: ∃x (x ∈ A ∧ L(x)).
+    """
+
+    a: Var
+    label: str
+
+    def __str__(self) -> str:
+        return f"{self.label}({self.a})"
+
+
+@dataclass(frozen=True)
+class AllHaveLabel(Formula):
+    """Extended atom: every element of A carries ``label``.
+
+    MSO definition: ∀x (x ∈ A → L(x)).
+    """
+
+    a: Var
+    label: str
+
+    def __str__(self) -> str:
+        return f"(∀∈{self.a}: {self.label})"
+
+
+@dataclass(frozen=True)
+class EdgeCross(Formula):
+    """Extended atom: some edge in edge-set E has one endpoint in X and the
+    other in Y (Y omitted = unconstrained).
+
+    MSO definition: ∃e∈E ∃x∈X ∃y∈Y (inc(x,e) ∧ inc(y,e) ∧ x ≠ y).
+    """
+
+    e: Var
+    x: Var
+    y: Optional[Var] = None
+
+    def __str__(self) -> str:
+        if self.y is None:
+            return f"touches({self.e}, {self.x})"
+        return f"crosses({self.e}, {self.x}, {self.y})"
+
+
+@dataclass(frozen=True)
+class SetsIntersect(Formula):
+    """Extended atom: A ∩ B ≠ ∅ (same element kind).
+
+    MSO definition: ∃x (x ∈ A ∧ x ∈ B).
+    """
+
+    a: Var
+    b: Var
+
+    def __str__(self) -> str:
+        return f"({self.a} ∩ {self.b} ≠ ∅)"
+
+
+@dataclass(frozen=True)
+class AllVerticesIn(Formula):
+    """Extended atom: every vertex of G lies in B₁ ∪ … ∪ B_m.
+
+    MSO definition: ∀x (x ∈ B₁ ∨ … ∨ x ∈ B_m).  The workhorse of
+    partition/cover formulas (connectivity, k-colorability).
+    """
+
+    bs: Tuple[Var, ...]
+
+    def __str__(self) -> str:
+        union = " ∪ ".join(str(b) for b in self.bs)
+        return f"(V ⊆ {union})"
+
+
+@dataclass(frozen=True)
+class ContainsPattern(Formula):
+    """Extended atom: G contains a fixed pattern graph H as a subgraph
+    (induced if ``induced``).
+
+    MSO (even FO) definition: φ_H of Corollary 7.3 — one existential
+    vertex variable per pattern vertex, adjacency forced on pattern edges,
+    pairwise distinctness, non-adjacency on non-edges when induced.  The
+    direct automaton tracks partial embeddings instead of paying one
+    subset-construction blowup per pattern vertex.
+    """
+
+    num_vertices: int
+    edges: FrozenSet[Tuple[int, int]]  # canonical (i < j), over 0..n-1
+    induced: bool = False
+
+    def __str__(self) -> str:
+        mode = "induced" if self.induced else "subgraph"
+        return f"contains[{mode}](n={self.num_vertices}, m={len(self.edges)})"
+
+
+@dataclass(frozen=True)
+class GraphDegrees(Formula):
+    """Extended atom: every vertex's degree in G, capped at ``cap``, lies in
+    ``allowed`` ⊆ {0, …, cap}.
+
+    FO definition: a bounded counting formula with cap+1 quantifiers.
+    ``Not(GraphDegrees({0..k}, cap=k+1))`` is the paper's "some vertex has
+    degree > k" predicate from Section 1.1.
+    """
+
+    allowed: FrozenSet[int]
+    cap: int
+
+    def __str__(self) -> str:
+        return f"degG ∈ {sorted(self.allowed)} (cap {self.cap})"
+
+
+# Capped incidence-count classes used by IncCounts.
+COUNT_CLASSES = (0, 1, 2, 3)  # the default IncCounts classes; 3 = "3 or more"
+
+
+@dataclass(frozen=True)
+class IncCounts(Formula):
+    """Extended atom: for every vertex v (in ``within`` if given), the
+    number of E-edges incident to v, capped at ``cap``, lies in ``allowed``
+    (class ``cap`` means "cap or more").
+
+    Examples: allowed={0,1} — E is a matching; allowed={1} and within=None —
+    E is a perfect matching; allowed={2} — E is 2-regular spanning;
+    allowed={0,2,3} — no vertex has E-degree exactly 1 (cycle support);
+    allowed={0,3}, cap=4 — E is a cubic subgraph's edge set.
+    MSO-definable by counting distinct incident edges with ≤ cap quantifiers.
+    """
+
+    e: Var
+    allowed: FrozenSet[int]
+    within: Optional[Var] = None
+    cap: int = 3
+
+    def __str__(self) -> str:
+        scope = f" on {self.within}" if self.within is not None else ""
+        return f"degrees({self.e}{scope} ∈ {sorted(self.allowed)}, cap {self.cap})"
+
+
+@dataclass(frozen=True)
+class IncParity(Formula):
+    """Extended atom: every vertex (in ``within`` if given) has an incident
+    X_e-edge count of the given parity (``even=True`` — the Eulerian /
+    cycle-space condition).
+
+    MSO-definable: parity of a bounded-degeneracy incidence count is a
+    finite-state condition; in general MSO₂ it is expressible via the
+    standard even/odd set-partition trick on the incident edge set.
+    """
+
+    e: Var
+    even: bool = True
+    within: Optional[Var] = None
+
+    def __str__(self) -> str:
+        scope = f" on {self.within}" if self.within is not None else ""
+        return f"parity({self.e}{scope} = {'even' if self.even else 'odd'})"
+
+
+@dataclass(frozen=True)
+class AllEdgesIn(Formula):
+    """Extended atom: every edge of G lies in B₁ ∪ … ∪ B_m (edge sets).
+
+    MSO definition: ∀e (e ∈ B₁ ∨ … ∨ e ∈ B_m).  The cover condition of
+    edge-coloring formulas.
+    """
+
+    bs: Tuple[Var, ...]
+
+    def __str__(self) -> str:
+        union = " ∪ ".join(str(b) for b in self.bs)
+        return f"(E ⊆ {union})"
+
+
+@dataclass(frozen=True)
+class IsClique(Formula):
+    """Extended atom: the vertex set X induces a clique.
+
+    MSO definition: ∀x,y ∈ X (x ≠ y → adj(x, y)).  On elimination forests
+    a clique always lies on one root path, which the direct automaton
+    exploits instead of paying two projections.
+    """
+
+    x: Var
+
+    def __str__(self) -> str:
+        return f"clique({self.x})"
+
+
+@dataclass(frozen=True)
+class EndpointsIn(Formula):
+    """Extended atom: every edge of E has both endpoints in X.
+
+    MSO definition: ∀e∈E ∀x (inc(x,e) → x ∈ X).
+    """
+
+    e: Var
+    x: Var
+
+    def __str__(self) -> str:
+        return f"(endpoints({self.e}) ⊆ {self.x})"
+
+
+# ----------------------------------------------------------------------
+# Connectives and quantifiers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"¬{self.inner}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    parts: Tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    parts: Tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    var: Var
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∃{self.var}:{self.var.sort.value} {self.body}"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    var: Var
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"∀{self.var}:{self.var.sort.value} {self.body}"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+
+def vertex(name: str) -> Var:
+    return Var(name, Sort.VERTEX)
+
+
+def edge(name: str) -> Var:
+    return Var(name, Sort.EDGE)
+
+
+def vertex_set(name: str) -> Var:
+    return Var(name, Sort.VERTEX_SET)
+
+
+def edge_set(name: str) -> Var:
+    return Var(name, Sort.EDGE_SET)
+
+
+def and_(*parts: Formula) -> Formula:
+    flat = []
+    for p in parts:
+        flat.extend(p.parts if isinstance(p, And) else [p])
+    if not flat:
+        return Truth(True)
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def or_(*parts: Formula) -> Formula:
+    flat = []
+    for p in parts:
+        flat.extend(p.parts if isinstance(p, Or) else [p])
+    if not flat:
+        return Truth(False)
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def implies(a: Formula, b: Formula) -> Formula:
+    return or_(Not(a), b)
+
+
+def iff(a: Formula, b: Formula) -> Formula:
+    return and_(implies(a, b), implies(b, a))
+
+
+def exists(variables: Union[Var, Iterable[Var]], body: Formula) -> Formula:
+    if isinstance(variables, Var):
+        variables = [variables]
+    out = body
+    for v in reversed(list(variables)):
+        out = Exists(v, out)
+    return out
+
+
+def forall(variables: Union[Var, Iterable[Var]], body: Formula) -> Formula:
+    if isinstance(variables, Var):
+        variables = [variables]
+    out = body
+    for v in reversed(list(variables)):
+        out = Forall(v, out)
+    return out
+
+
+def distinct(*variables: Var) -> Formula:
+    """Pairwise inequality of element variables."""
+    vs = list(variables)
+    return and_(
+        *(Not(Eq(vs[i], vs[j])) for i in range(len(vs)) for j in range(i + 1, len(vs)))
+    )
+
+
+def disjoint(a: Var, b: Var) -> Formula:
+    """A ∩ B = ∅."""
+    return Not(SetsIntersect(a, b))
+
+
+def pattern_atom(pattern, induced: bool = False) -> ContainsPattern:
+    """Build a :class:`ContainsPattern` atom from a :class:`~repro.graph.Graph`."""
+    vertices = pattern.vertices()
+    index = {v: i for i, v in enumerate(vertices)}
+    edges = frozenset(
+        (min(index[u], index[v]), max(index[u], index[v]))
+        for u, v in pattern.edges()
+    )
+    return ContainsPattern(
+        num_vertices=len(vertices), edges=edges, induced=induced
+    )
+
+
+# ----------------------------------------------------------------------
+# Static analysis
+# ----------------------------------------------------------------------
+
+def free_variables(formula: Formula) -> FrozenSet[Var]:
+    """The free variables of ``formula``."""
+    if isinstance(formula, Truth):
+        return frozenset()
+    if isinstance(formula, (Adj, Inc, Eq, In, EdgeCross, EndpointsIn)):
+        args = [getattr(formula, f.name) for f in formula.__dataclass_fields__.values()]
+        return frozenset(a for a in args if isinstance(a, Var))
+    if isinstance(formula, Subset):
+        return frozenset((formula.a,) + formula.bs)
+    if isinstance(formula, SetsIntersect):
+        return frozenset({formula.a, formula.b})
+    if isinstance(formula, AllVerticesIn):
+        return frozenset(formula.bs)
+    if isinstance(formula, (ContainsPattern, GraphDegrees)):
+        return frozenset()
+    if isinstance(formula, (NonEmpty, HasLabel, AllHaveLabel)):
+        return frozenset({formula.a})
+    if isinstance(formula, (IncCounts, IncParity)):
+        out = {formula.e}
+        if formula.within is not None:
+            out.add(formula.within)
+        return frozenset(out)
+    if isinstance(formula, AllEdgesIn):
+        return frozenset(formula.bs)
+    if isinstance(formula, IsClique):
+        return frozenset({formula.x})
+    if isinstance(formula, Not):
+        return free_variables(formula.inner)
+    if isinstance(formula, (And, Or)):
+        out: FrozenSet[Var] = frozenset()
+        for p in formula.parts:
+            out |= free_variables(p)
+        return out
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.body) - {formula.var}
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def quantifier_depth(formula: Formula) -> int:
+    """Maximum quantifier nesting (both sorts counted)."""
+    if isinstance(formula, Not):
+        return quantifier_depth(formula.inner)
+    if isinstance(formula, (And, Or)):
+        return max((quantifier_depth(p) for p in formula.parts), default=0)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + quantifier_depth(formula.body)
+    return 0
+
+
+def validate(formula: Formula, allowed_free: Iterable[Var] = ()) -> None:
+    """Sort-check ``formula`` and verify all free variables are declared.
+
+    Raises :class:`FormulaError` on: sort mismatches (e.g. adj on edges,
+    membership into an element variable), unbound variables not listed in
+    ``allowed_free``, and rebinding a variable already in scope.
+    """
+    allowed = set(allowed_free)
+
+    def want(var: Var, *sorts: Sort, role: str) -> None:
+        if var.sort not in sorts:
+            raise FormulaError(
+                f"{role} expects sort in {[s.value for s in sorts]}, "
+                f"got {var.name}:{var.sort.value}"
+            )
+
+    def walk(f: Formula, scope: Dict[str, Var]) -> None:
+        if isinstance(f, Truth):
+            return
+        if isinstance(f, (Exists, Forall)):
+            if f.var.name in scope:
+                raise FormulaError(f"variable {f.var.name!r} rebound in nested scope")
+            scope = dict(scope)
+            scope[f.var.name] = f.var
+            walk(f.body, scope)
+            return
+        if isinstance(f, Not):
+            walk(f.inner, scope)
+            return
+        if isinstance(f, (And, Or)):
+            for p in f.parts:
+                walk(p, scope)
+            return
+        # Atom: every variable must be bound or declared free, with the
+        # exact same sort.
+        for var in sorted(free_variables(f)):
+            bound = scope.get(var.name)
+            if bound is not None:
+                if bound != var:
+                    raise FormulaError(
+                        f"variable {var.name!r} used with sort {var.sort.value} "
+                        f"but bound with sort {bound.sort.value}"
+                    )
+            elif var not in allowed:
+                raise FormulaError(f"unbound variable {var.name!r}")
+        if isinstance(f, Adj):
+            want(f.x, Sort.VERTEX, Sort.VERTEX_SET, role="adj")
+            want(f.y, Sort.VERTEX, Sort.VERTEX_SET, role="adj")
+        elif isinstance(f, Inc):
+            want(f.x, Sort.VERTEX, Sort.VERTEX_SET, role="inc vertex side")
+            want(f.e, Sort.EDGE, Sort.EDGE_SET, role="inc edge side")
+        elif isinstance(f, Eq):
+            if f.x.sort != f.y.sort or f.x.sort.is_set:
+                raise FormulaError("= requires two element variables of one sort")
+        elif isinstance(f, In):
+            if not f.s.sort.is_set or f.s.sort.element_sort != f.x.sort:
+                raise FormulaError(f"∈ sort mismatch: {f.x} ∈ {f.s}")
+        elif isinstance(f, Subset):
+            kinds = {f.a.sort.is_vertex_kind} | {b.sort.is_vertex_kind for b in f.bs}
+            if len(kinds) != 1 or not f.bs:
+                raise FormulaError("⊆ requires same-kind variables (>= 1 superset)")
+        elif isinstance(f, EdgeCross):
+            want(f.e, Sort.EDGE, Sort.EDGE_SET, role="crosses edge side")
+            want(f.x, Sort.VERTEX, Sort.VERTEX_SET, role="crosses")
+            if f.y is not None:
+                want(f.y, Sort.VERTEX, Sort.VERTEX_SET, role="crosses")
+        elif isinstance(f, IncCounts):
+            want(f.e, Sort.EDGE_SET, role="degrees edge side")
+            if f.cap < 1 or not f.allowed or not f.allowed.issubset(
+                set(range(f.cap + 1))
+            ):
+                raise FormulaError(
+                    "degrees: allowed must be a nonempty subset of 0..cap"
+                )
+            if f.within is not None:
+                want(f.within, Sort.VERTEX_SET, role="degrees scope")
+        elif isinstance(f, IncParity):
+            want(f.e, Sort.EDGE_SET, role="parity edge side")
+            if f.within is not None:
+                want(f.within, Sort.VERTEX_SET, role="parity scope")
+        elif isinstance(f, AllEdgesIn):
+            if not f.bs:
+                raise FormulaError("edge cover requires at least one set")
+            for b in f.bs:
+                want(b, Sort.EDGE, Sort.EDGE_SET, role="edge cover")
+        elif isinstance(f, IsClique):
+            want(f.x, Sort.VERTEX, Sort.VERTEX_SET, role="clique")
+        elif isinstance(f, EndpointsIn):
+            want(f.e, Sort.EDGE, Sort.EDGE_SET, role="endpoints edge side")
+            want(f.x, Sort.VERTEX, Sort.VERTEX_SET, role="endpoints")
+        elif isinstance(f, SetsIntersect):
+            if f.a.sort.element_sort != f.b.sort.element_sort:
+                raise FormulaError("∩ requires same-kind variables")
+        elif isinstance(f, AllVerticesIn):
+            if not f.bs:
+                raise FormulaError("cover requires at least one set")
+            for b in f.bs:
+                want(b, Sort.VERTEX, Sort.VERTEX_SET, role="cover")
+        elif isinstance(f, ContainsPattern):
+            if f.num_vertices < 1:
+                raise FormulaError("pattern needs at least one vertex")
+            for i, j in f.edges:
+                if not (0 <= i < j < f.num_vertices):
+                    raise FormulaError(f"bad pattern edge ({i}, {j})")
+        elif isinstance(f, GraphDegrees):
+            if f.cap < 1 or not f.allowed or not f.allowed.issubset(
+                set(range(f.cap + 1))
+            ):
+                raise FormulaError("degG: allowed must be a nonempty subset of 0..cap")
+        elif isinstance(f, (NonEmpty, HasLabel, AllHaveLabel)):
+            pass
+        else:
+            raise FormulaError(f"unknown formula node {f!r}")
+
+    walk(formula, {})

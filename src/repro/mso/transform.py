@@ -1,0 +1,112 @@
+"""Formula transformations: simplification and negation normal form.
+
+The compiler benefits from smaller formula trees (every node costs an
+automaton layer), so ``simplify`` performs the safe, semantics-preserving
+rewrites:
+
+* constant folding through ¬ / ∧ / ∨ / quantifiers,
+* double-negation elimination,
+* flattening of nested ∧ / ∨ and deduplication of repeated conjuncts,
+* absorption of neutral elements.
+
+``to_nnf`` pushes negations down to atoms (quantifier duals, De Morgan) —
+useful for inspection and for measuring formula complexity, though the
+compiler handles negation natively via complement automata.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import syntax as sx
+from .syntax import And, Exists, Forall, Formula, Not, Or, Truth
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up constant folding and flattening; preserves semantics."""
+    if isinstance(formula, Not):
+        inner = simplify(formula.inner)
+        if isinstance(inner, Truth):
+            return Truth(not inner.value)
+        if isinstance(inner, Not):
+            return inner.inner
+        return Not(inner)
+    if isinstance(formula, (And, Or)):
+        conjunctive = isinstance(formula, And)
+        neutral = Truth(conjunctive)
+        absorbing = Truth(not conjunctive)
+        flat: List[Formula] = []
+        for part in formula.parts:
+            part = simplify(part)
+            if part == absorbing:
+                return absorbing
+            if part == neutral:
+                continue
+            if isinstance(part, And if conjunctive else Or):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        deduped: List[Formula] = []
+        for part in flat:
+            if part not in deduped:
+                deduped.append(part)
+        if not deduped:
+            return neutral
+        if len(deduped) == 1:
+            return deduped[0]
+        return (And if conjunctive else Or)(tuple(deduped))
+    if isinstance(formula, (Exists, Forall)):
+        body = simplify(formula.body)
+        if isinstance(body, Truth) and not _domain_can_be_empty(formula.var):
+            # Set domains are never empty (the empty set always exists);
+            # element domains can be (no edges / no vertices... vertices
+            # always exist in our graphs, edges may not), so only set
+            # quantifiers over constant bodies fold safely.
+            return body
+        cls = Exists if isinstance(formula, Exists) else Forall
+        return cls(formula.var, body)
+    return formula
+
+
+def _domain_can_be_empty(var: sx.Var) -> bool:
+    # Edge / vertex element domains may be empty (edgeless graphs; the
+    # empty graph); set domains always contain at least the empty set.
+    return not var.sort.is_set
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: ¬ only over atoms (via quantifier duals and
+    De Morgan).  Extended atoms count as atoms."""
+    return _nnf(formula, negate=False)
+
+
+def _nnf(f: Formula, negate: bool) -> Formula:
+    if isinstance(f, Truth):
+        return Truth(f.value != negate)
+    if isinstance(f, Not):
+        return _nnf(f.inner, not negate)
+    if isinstance(f, And):
+        parts = tuple(_nnf(p, negate) for p in f.parts)
+        return Or(parts) if negate else And(parts)
+    if isinstance(f, Or):
+        parts = tuple(_nnf(p, negate) for p in f.parts)
+        return And(parts) if negate else Or(parts)
+    if isinstance(f, Exists):
+        body = _nnf(f.body, negate)
+        return Forall(f.var, body) if negate else Exists(f.var, body)
+    if isinstance(f, Forall):
+        body = _nnf(f.body, negate)
+        return Exists(f.var, body) if negate else Forall(f.var, body)
+    # Atom.
+    return Not(f) if negate else f
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes (a crude complexity measure for benchmarks)."""
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.inner)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(p) for p in formula.parts)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_size(formula.body)
+    return 1

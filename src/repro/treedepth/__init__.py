@@ -1,0 +1,34 @@
+"""Treedepth toolkit: elimination forests, exact/heuristic treedepth,
+canonical tree decompositions (paper Sections 2-3)."""
+
+from .decomposition import TreeDecomposition, canonical_tree_decomposition
+from .elimination import EliminationForest, forest_from_order
+from .exact import (
+    degeneracy,
+    optimal_elimination_forest,
+    treedepth,
+    treedepth_at_most,
+    treedepth_lower_bound,
+)
+from .heuristics import (
+    best_heuristic_forest,
+    centroid_elimination_forest,
+    dfs_elimination_forest,
+    greedy_elimination_forest,
+)
+
+__all__ = [
+    "EliminationForest",
+    "TreeDecomposition",
+    "best_heuristic_forest",
+    "canonical_tree_decomposition",
+    "centroid_elimination_forest",
+    "degeneracy",
+    "dfs_elimination_forest",
+    "forest_from_order",
+    "greedy_elimination_forest",
+    "optimal_elimination_forest",
+    "treedepth",
+    "treedepth_at_most",
+    "treedepth_lower_bound",
+]

@@ -1,0 +1,107 @@
+"""Tree decompositions (Definition 2.3) and the canonical construction.
+
+Lemma 2.4: given an elimination forest T of depth d, assigning each tree
+node u the bag B(u) = {u} ∪ ancestors(u) yields a tree decomposition of
+width d - 1 whose tree is T itself.  The distributed protocols work on this
+canonical decomposition exclusively, but the class is general enough to
+validate arbitrary decompositions in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..errors import DecompositionError
+from ..graph import Graph, Vertex
+from .elimination import EliminationForest
+
+
+class TreeDecomposition:
+    """A rooted tree decomposition: a forest of bag-nodes plus bag contents."""
+
+    def __init__(
+        self,
+        parent: Dict[Vertex, Optional[Vertex]],
+        bags: Dict[Vertex, Iterable[Vertex]],
+    ):
+        if set(parent) != set(bags):
+            raise DecompositionError("parent map and bags must share node ids")
+        self._tree = EliminationForest(parent)
+        self._bags: Dict[Vertex, FrozenSet[Vertex]] = {
+            node: frozenset(contents) for node, contents in bags.items()
+        }
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Vertex]:
+        return self._tree.vertices()
+
+    def bag(self, node: Vertex) -> FrozenSet[Vertex]:
+        if node not in self._bags:
+            raise DecompositionError(f"unknown decomposition node {node!r}")
+        return self._bags[node]
+
+    def tree(self) -> EliminationForest:
+        return self._tree
+
+    def width(self) -> int:
+        """Maximum bag size minus one."""
+        return max((len(b) for b in self._bags.values()), default=0) - 1
+
+    # ------------------------------------------------------------------
+    def is_valid_for(self, graph: Graph) -> bool:
+        try:
+            self.validate_for(graph)
+        except DecompositionError:
+            return False
+        return True
+
+    def validate_for(self, graph: Graph) -> None:
+        """Check the three tree-decomposition conditions for ``graph``."""
+        covered: Set[Vertex] = set()
+        for bag in self._bags.values():
+            covered |= bag
+        missing = set(graph.vertices()) - covered
+        if missing:
+            raise DecompositionError(f"vertices not covered by any bag: {sorted(missing)}")
+        extras = covered - set(graph.vertices())
+        if extras:
+            raise DecompositionError(f"bags mention unknown vertices: {sorted(extras)}")
+        for u, v in graph.edges():
+            if not any(u in bag and v in bag for bag in self._bags.values()):
+                raise DecompositionError(f"edge ({u!r}, {v!r}) not covered by any bag")
+        # Connectivity: nodes whose bags contain v must induce a connected
+        # subtree of the decomposition tree.
+        for v in graph.vertices():
+            holders = [node for node, bag in self._bags.items() if v in bag]
+            if not self._nodes_connected(holders):
+                raise DecompositionError(
+                    f"bags containing {v!r} do not form a connected subtree"
+                )
+
+    def _nodes_connected(self, nodes: List[Vertex]) -> bool:
+        node_set = set(nodes)
+        if len(node_set) <= 1:
+            return True
+        # Build adjacency restricted to node_set via parent pointers.
+        adjacency: Dict[Vertex, List[Vertex]] = {n: [] for n in node_set}
+        for n in node_set:
+            p = self._tree.parent(n)
+            if p is not None and p in node_set:
+                adjacency[n].append(p)
+                adjacency[p].append(n)
+        start = nodes[0]
+        seen = {start}
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            for nb in adjacency[cur]:
+                if nb not in seen:
+                    seen.add(nb)
+                    stack.append(nb)
+        return seen == node_set
+
+
+def canonical_tree_decomposition(forest: EliminationForest) -> TreeDecomposition:
+    """Lemma 2.4: bags are root paths; width = depth(forest) - 1."""
+    bags = {v: forest.root_path(v) for v in forest.vertices()}
+    return TreeDecomposition(forest.parent_map(), bags)

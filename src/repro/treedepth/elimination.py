@@ -1,0 +1,203 @@
+"""Elimination forests (Definition 2.1).
+
+An elimination forest of a graph G is a rooted forest on V(G) such that the
+endpoints of every edge of G are in ancestor-descendant relation.  The
+treedepth of G is the minimum depth of such a forest, where depth counts
+vertices on a root-to-leaf path (the paper's convention: a single vertex has
+depth 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import DecompositionError
+from ..graph import Graph, Vertex
+
+
+class EliminationForest:
+    """A rooted forest over a vertex set, stored as a parent map."""
+
+    def __init__(self, parent: Dict[Vertex, Optional[Vertex]]):
+        self._parent = dict(parent)
+        self._children: Dict[Vertex, List[Vertex]] = {v: [] for v in self._parent}
+        self._roots: List[Vertex] = []
+        for v, p in self._parent.items():
+            if p is None:
+                self._roots.append(v)
+            else:
+                if p not in self._parent:
+                    raise DecompositionError(f"parent {p!r} of {v!r} is not a vertex")
+                self._children[p].append(v)
+        self._roots.sort()
+        for v in self._children:
+            self._children[v].sort()
+        self._depth: Dict[Vertex, int] = {}
+        self._compute_depths()
+
+    def _compute_depths(self) -> None:
+        for root in self._roots:
+            stack = [(root, 1)]
+            while stack:
+                v, d = stack.pop()
+                if v in self._depth:
+                    raise DecompositionError("forest contains a cycle or shared node")
+                self._depth[v] = d
+                for c in self._children[v]:
+                    stack.append((c, d + 1))
+        if len(self._depth) != len(self._parent):
+            raise DecompositionError("parent map contains a cycle")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def vertices(self) -> List[Vertex]:
+        return sorted(self._parent)
+
+    def parent(self, v: Vertex) -> Optional[Vertex]:
+        self._require(v)
+        return self._parent[v]
+
+    def children(self, v: Vertex) -> List[Vertex]:
+        self._require(v)
+        return list(self._children[v])
+
+    def roots(self) -> List[Vertex]:
+        return list(self._roots)
+
+    def is_tree(self) -> bool:
+        return len(self._roots) == 1
+
+    def depth_of(self, v: Vertex) -> int:
+        """Depth of vertex ``v`` (roots have depth 1)."""
+        self._require(v)
+        return self._depth[v]
+
+    def depth(self) -> int:
+        """Depth of the forest: the maximum vertex depth."""
+        return max(self._depth.values(), default=0)
+
+    def root_path(self, v: Vertex) -> List[Vertex]:
+        """Vertices on the path from the root down to ``v``, inclusive."""
+        self._require(v)
+        chain: List[Vertex] = []
+        cur: Optional[Vertex] = v
+        while cur is not None:
+            chain.append(cur)
+            cur = self._parent[cur]
+        chain.reverse()
+        return chain
+
+    def ancestors(self, v: Vertex) -> List[Vertex]:
+        """Strict ancestors of ``v``, from the root downwards."""
+        return self.root_path(v)[:-1]
+
+    def is_ancestor(self, a: Vertex, v: Vertex) -> bool:
+        """Is ``a`` a (non-strict) ancestor of ``v``?"""
+        self._require(a)
+        cur: Optional[Vertex] = v
+        while cur is not None:
+            if cur == a:
+                return True
+            cur = self._parent[cur]
+        return False
+
+    def subtree(self, v: Vertex) -> List[Vertex]:
+        """All descendants of ``v`` including ``v`` itself."""
+        self._require(v)
+        out: List[Vertex] = []
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            out.append(u)
+            stack.extend(self._children[u])
+        return sorted(out)
+
+    def topological_order(self) -> List[Vertex]:
+        """Vertices ordered root-first (parents before children)."""
+        order: List[Vertex] = []
+        stack = list(reversed(self._roots))
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(reversed(self._children[v]))
+        return order
+
+    def bottom_up_order(self) -> List[Vertex]:
+        """Vertices ordered children-first (reverse topological)."""
+        return list(reversed(self.topological_order()))
+
+    def parent_map(self) -> Dict[Vertex, Optional[Vertex]]:
+        return dict(self._parent)
+
+    # ------------------------------------------------------------------
+    # Validity with respect to a graph
+    # ------------------------------------------------------------------
+    def is_valid_for(self, graph: Graph) -> bool:
+        """Is this a valid elimination forest of ``graph``?
+
+        Checks the vertex sets match and every graph edge joins an
+        ancestor-descendant pair.
+        """
+        if set(self._parent) != set(graph.vertices()):
+            return False
+        return all(
+            self.is_ancestor(u, v) or self.is_ancestor(v, u)
+            for u, v in graph.edges()
+        )
+
+    def validate_for(self, graph: Graph) -> None:
+        """Raise :class:`DecompositionError` if invalid for ``graph``."""
+        if set(self._parent) != set(graph.vertices()):
+            raise DecompositionError("forest and graph have different vertex sets")
+        for u, v in graph.edges():
+            if not (self.is_ancestor(u, v) or self.is_ancestor(v, u)):
+                raise DecompositionError(
+                    f"edge ({u!r}, {v!r}) violates the ancestry condition"
+                )
+
+    def is_subforest_of(self, graph: Graph) -> bool:
+        """Is every tree edge also a graph edge?  (Lemma 2.5 hypothesis.)"""
+        return all(
+            graph.has_edge(v, p)
+            for v, p in self._parent.items()
+            if p is not None
+        )
+
+    def _require(self, v: Vertex) -> None:
+        if v not in self._parent:
+            raise DecompositionError(f"vertex {v!r} is not in the forest")
+
+    def __repr__(self) -> str:
+        return (
+            f"EliminationForest(n={len(self._parent)}, "
+            f"roots={len(self._roots)}, depth={self.depth()})"
+        )
+
+
+def forest_from_order(graph: Graph, order: Sequence[Vertex]) -> EliminationForest:
+    """Build the elimination forest induced by an elimination *order*.
+
+    Processing ``order`` left to right, each vertex becomes a root of the
+    forest for the component of the remaining graph it is removed from; its
+    children are the vertices chosen next inside each sub-component.  This is
+    the standard order→forest correspondence; the forest depth equals the
+    "vertex ranking" quality of the order.
+    """
+    position = {v: i for i, v in enumerate(order)}
+    if set(position) != set(graph.vertices()):
+        raise DecompositionError("order must enumerate the graph's vertices")
+
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+
+    def recurse(component: List[Vertex], above: Optional[Vertex]) -> None:
+        sub = graph.induced_subgraph(component)
+        for comp in sub.connected_components():
+            top = min(comp, key=lambda v: position[v])
+            parent[top] = above
+            rest = [v for v in comp if v != top]
+            if rest:
+                recurse(rest, top)
+
+    recurse(graph.vertices(), None)
+    return EliminationForest(parent)

@@ -1,0 +1,126 @@
+"""Exact treedepth via the Lemma 2.2 recursion.
+
+    td(G) = 1                                  if |V| = 1
+          = 1 + min_v td(G - v)                if G is connected
+          = max over components                otherwise
+
+The recursion is memoized on vertex subsets, so it is exponential in n —
+use it as a ground-truth oracle on small graphs (n up to ~16), which is
+exactly what the test-suite and benchmarks need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..graph import Graph, Vertex
+from .elimination import EliminationForest
+
+ParentMap = Dict[Vertex, Optional[Vertex]]
+
+
+def degeneracy(graph: Graph) -> int:
+    """Graph degeneracy (max over subgraphs of the min degree).
+
+    Computed by repeatedly removing a minimum-degree vertex.  Used as a
+    treedepth lower bound: degeneracy <= treewidth <= treedepth - 1.
+    """
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+    adj = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    best = 0
+    remaining = set(degrees)
+    while remaining:
+        v = min(remaining, key=lambda u: (degrees[u], u))
+        best = max(best, degrees[v])
+        remaining.discard(v)
+        for u in adj[v]:
+            if u in remaining:
+                degrees[u] -= 1
+                adj[u].discard(v)
+    return best
+
+
+def treedepth_lower_bound(graph: Graph) -> int:
+    """A cheap valid lower bound on td(G)."""
+    if graph.num_vertices() == 0:
+        return 0
+    bound = 1 + degeneracy(graph)
+    if graph.is_connected() and graph.num_vertices() > 1:
+        # G contains a path on diam+1 vertices; td(P_n) = ceil(log2(n+1)).
+        diam = graph.diameter()
+        path_vertices = diam + 1
+        bound = max(bound, _ceil_log2(path_vertices + 1))
+    return bound
+
+
+def _ceil_log2(x: int) -> int:
+    """ceil(log2(x)) for x >= 1."""
+    return (x - 1).bit_length()
+
+
+class _TreedepthSolver:
+    """Memoized exact solver producing an optimal elimination forest."""
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        self._memo: Dict[FrozenSet[Vertex], Tuple[int, ParentMap]] = {}
+
+    def solve(self) -> Tuple[int, ParentMap]:
+        if self._graph.num_vertices() == 0:
+            return 0, {}
+        return self._solve(frozenset(self._graph.vertices()))
+
+    def _solve(self, vs: FrozenSet[Vertex]) -> Tuple[int, ParentMap]:
+        if vs in self._memo:
+            return self._memo[vs]
+        result = self._compute(vs)
+        self._memo[vs] = result
+        return result
+
+    def _compute(self, vs: FrozenSet[Vertex]) -> Tuple[int, ParentMap]:
+        if len(vs) == 1:
+            v = next(iter(vs))
+            return 1, {v: None}
+        sub = self._graph.induced_subgraph(vs)
+        components = sub.connected_components()
+        if len(components) > 1:
+            depth = 0
+            parent: ParentMap = {}
+            for comp in components:
+                d, pm = self._solve(frozenset(comp))
+                depth = max(depth, d)
+                parent.update(pm)
+            return depth, parent
+        best_depth: Optional[int] = None
+        best_parent: ParentMap = {}
+        for v in sorted(vs):
+            d, pm = self._solve(vs - {v})
+            if best_depth is not None and 1 + d >= best_depth:
+                continue
+            best_depth = 1 + d
+            best_parent = {u: (v if p is None else p) for u, p in pm.items()}
+            best_parent[v] = None
+        assert best_depth is not None
+        return best_depth, best_parent
+
+
+def treedepth(graph: Graph) -> int:
+    """The exact treedepth of ``graph`` (exponential time; small graphs)."""
+    depth, _ = _TreedepthSolver(graph).solve()
+    return depth
+
+
+def optimal_elimination_forest(graph: Graph) -> EliminationForest:
+    """An elimination forest of minimum depth (= treedepth)."""
+    _, parent = _TreedepthSolver(graph).solve()
+    forest = EliminationForest(parent)
+    forest.validate_for(graph)
+    return forest
+
+
+def treedepth_at_most(graph: Graph, d: int) -> Optional[EliminationForest]:
+    """An elimination forest of depth <= d, or None if td(G) > d."""
+    depth, parent = _TreedepthSolver(graph).solve()
+    if depth > d:
+        return None
+    return EliminationForest(parent)

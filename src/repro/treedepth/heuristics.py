@@ -1,0 +1,123 @@
+"""Polynomial-time elimination-forest heuristics.
+
+The distributed protocol (Algorithm 2) builds an elimination tree that is a
+*subtree of G* and therefore, by Lemma 2.5, has depth at most 2^{td(G)}.
+The sequential analogue of that guarantee is the DFS forest: in an
+undirected DFS every non-tree edge is a back edge, so a DFS forest is always
+an elimination forest, and if it is a subforest of G its depth is bounded by
+2^{td(G)}.
+
+For trees we also provide the centroid decomposition, which achieves the
+optimal O(log n) depth and is used to sanity-check the quality gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import DecompositionError
+from ..graph import Graph, Vertex
+from .elimination import EliminationForest, forest_from_order
+
+
+def dfs_elimination_forest(graph: Graph, root: Optional[Vertex] = None) -> EliminationForest:
+    """The DFS forest of ``graph`` (rooted at ``root`` in its component).
+
+    Always a valid elimination forest; always a subforest of G; depth at
+    most 2^{td(G)} by Lemma 2.5.
+    """
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    visited = set()
+
+    def dfs(start: Vertex) -> None:
+        parent[start] = None
+        visited.add(start)
+        # Iterative DFS that records tree edges on first discovery.
+        iters = {start: iter(graph.neighbors(start))}
+        path: List[Vertex] = [start]
+        while path:
+            v = path[-1]
+            advanced = False
+            for u in iters[v]:
+                if u not in visited:
+                    visited.add(u)
+                    parent[u] = v
+                    iters[u] = iter(graph.neighbors(u))
+                    path.append(u)
+                    advanced = True
+                    break
+            if not advanced:
+                path.pop()
+
+    starts = graph.vertices()
+    if root is not None:
+        if not graph.has_vertex(root):
+            raise DecompositionError(f"unknown root {root!r}")
+        starts = [root] + [v for v in starts if v != root]
+    for v in starts:
+        if v not in visited:
+            dfs(v)
+    forest = EliminationForest(parent)
+    forest.validate_for(graph)
+    return forest
+
+
+def centroid_elimination_forest(tree: Graph) -> EliminationForest:
+    """Centroid decomposition of a forest: an elimination forest of depth
+    O(log n).  Raises if the input graph contains a cycle.
+    """
+    from ..graph.properties import is_acyclic
+
+    if not is_acyclic(tree):
+        raise DecompositionError("centroid decomposition requires a forest")
+
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+
+    def centroid(component: List[Vertex]) -> Vertex:
+        sub = tree.induced_subgraph(component)
+        n = len(component)
+        best_v = component[0]
+        best_score = n + 1
+        for v in component:
+            pieces = sub.without_vertices([v]).connected_components()
+            score = max((len(p) for p in pieces), default=0)
+            if score < best_score or (score == best_score and v < best_v):
+                best_score = score
+                best_v = v
+        return best_v
+
+    def recurse(component: List[Vertex], above: Optional[Vertex]) -> None:
+        c = centroid(component)
+        parent[c] = above
+        sub = tree.induced_subgraph(component)
+        for piece in sub.without_vertices([c]).connected_components():
+            recurse(piece, c)
+
+    for comp in tree.connected_components():
+        recurse(comp, None)
+    forest = EliminationForest(parent)
+    forest.validate_for(tree)
+    return forest
+
+
+def greedy_elimination_forest(graph: Graph) -> EliminationForest:
+    """Order-based heuristic: max-degree-first elimination order.
+
+    Eliminating high-degree vertices first tends to shatter the graph
+    quickly, keeping the forest shallow.  Any order yields a *valid*
+    elimination forest via :func:`forest_from_order`; only the depth varies.
+    """
+    order = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+    forest = forest_from_order(graph, order)
+    forest.validate_for(graph)
+    return forest
+
+
+def best_heuristic_forest(graph: Graph) -> EliminationForest:
+    """The shallowest forest among the implemented heuristics."""
+    candidates = [dfs_elimination_forest(graph), greedy_elimination_forest(graph)]
+    from ..graph.properties import is_acyclic
+
+    if is_acyclic(graph):
+        candidates.append(centroid_elimination_forest(graph))
+    return min(candidates, key=lambda f: f.depth())

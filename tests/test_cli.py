@@ -1,0 +1,209 @@
+"""Tests for the command-line interface and graph I/O."""
+
+import io
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+from repro.errors import GraphError, ReproError
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph.io import dumps, loads, read_edge_list, to_dot
+
+
+# ----------------------------------------------------------------------
+# Graph I/O
+# ----------------------------------------------------------------------
+
+def test_io_roundtrip_plain():
+    g = gen.cycle(5)
+    assert loads(dumps(g)) == g
+
+
+def test_io_roundtrip_labels_weights():
+    g = gen.path(3)
+    g.add_vertex_label(0, "red")
+    g.add_vertex_label(0, "source")
+    g.set_vertex_weight(1, 7)
+    g.add_edge_label(0, 1, "backbone")
+    g.set_edge_weight(1, 2, -3)
+    assert loads(dumps(g)) == g
+
+
+def test_io_comments_and_blanks():
+    text = """
+    # a comment
+    vertex 1
+    vertex 2
+
+    edge 1 2
+    """
+    g = loads(text)
+    assert g.vertices() == [1, 2]
+    assert g.has_edge(1, 2)
+
+
+def test_io_errors():
+    with pytest.raises(GraphError):
+        loads("vertex")
+    with pytest.raises(GraphError):
+        loads("edge 1")
+    with pytest.raises(GraphError):
+        loads("banana 1 2")
+
+
+def test_edge_list():
+    g = read_edge_list("0 1\n1 2\n7\n")
+    assert g.has_edge(0, 1) and g.has_edge(1, 2)
+    assert g.has_vertex(7) and g.degree(7) == 0
+    with pytest.raises(GraphError):
+        read_edge_list("1 2 3")
+
+
+def test_to_dot():
+    g = gen.path(2)
+    g.add_vertex_label(0, "hub")
+    g.set_edge_weight(0, 1, 3)
+    dot = to_dot(g)
+    assert dot.startswith("graph G {")
+    assert '"0" -- "1"' in dot
+    assert "weight=3" in dot
+    assert "hub" in dot
+
+
+# ----------------------------------------------------------------------
+# Graph specs
+# ----------------------------------------------------------------------
+
+def test_parse_graph_specs():
+    assert parse_graph_spec("path:5").num_vertices() == 5
+    assert parse_graph_spec("cycle:4").num_edges() == 4
+    assert parse_graph_spec("clique:4").num_edges() == 6
+    assert parse_graph_spec("star:3").num_vertices() == 4
+    assert parse_graph_spec("grid:2x3").num_vertices() == 6
+    assert parse_graph_spec("caterpillar:3:1").num_vertices() == 6
+    g = parse_graph_spec("bounded:10:3:0.5:7")
+    assert g.num_vertices() == 10 and g.is_connected()
+
+
+def test_parse_graph_spec_file(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text(dumps(gen.cycle(4)))
+    g = parse_graph_spec(f"file:{path}")
+    assert g == gen.cycle(4)
+
+
+def test_parse_graph_spec_errors():
+    with pytest.raises(ReproError):
+        parse_graph_spec("nope:3")
+    with pytest.raises(ReproError):
+        parse_graph_spec("grid:abc")
+
+
+# ----------------------------------------------------------------------
+# CLI commands (in-process, capturing stdout)
+# ----------------------------------------------------------------------
+
+def test_cli_check_catalog(capsys):
+    code = main(["check", "path:6", "--catalog", "acyclic"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "result: True" in out
+
+
+def test_cli_check_rejects(capsys):
+    code = main(["check", "cycle:4", "--catalog", "acyclic"])
+    assert code == 1
+    assert "result: False" in capsys.readouterr().out
+
+
+def test_cli_check_congest(capsys):
+    code = main(["check", "bounded:12:3:0.5:1", "--catalog", "triangle-free",
+                 "--congest", "--d", "3"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    assert "rounds:" in out
+
+
+def test_cli_check_treedepth_exceeded(capsys):
+    code = main(["check", "path:30", "--catalog", "acyclic",
+                 "--congest", "--d", "1"])
+    assert code == 2
+    assert "treedepth exceeded" in capsys.readouterr().out
+
+
+def test_cli_check_parsed_formula(capsys):
+    code = main(["check", "star:4", "--formula",
+                 "exists x:V . forall y:V . (x = y | adj(x, y))"])
+    assert code == 0
+
+
+def test_cli_optimize(capsys):
+    code = main(["optimize", "cycle:6", "--problem", "independent-set"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "optimum: 3" in out
+
+
+def test_cli_optimize_congest(capsys):
+    code = main(["optimize", "cycle:5", "--problem", "vertex-cover",
+                 "--congest", "--d", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "optimum: 3" in out
+
+
+def test_cli_extended_catalog_entries(capsys):
+    code = main(["check", "cycle:5", "--catalog", "has-even-subgraph"])
+    assert code == 0
+    code = main(["check", "path:5", "--catalog", "has-even-subgraph"])
+    assert code == 1
+    code = main(["optimize", "clique:4", "--problem", "clique"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "optimum: 4" in out
+
+
+def test_cli_count_triangles(capsys):
+    code = main(["count", "clique:4", "--triangles"])
+    assert code == 0
+    assert "triangles: 4" in capsys.readouterr().out
+
+
+def test_cli_treedepth(capsys):
+    code = main(["treedepth", "path:7", "--exact"])
+    assert code == 0
+    assert "treedepth: 3" in capsys.readouterr().out
+    code = main(["treedepth", "grid:3x3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "heuristic depth" in out
+
+
+def test_cli_treedepth_exact_size_guard(capsys):
+    code = main(["treedepth", "path:40", "--exact"])
+    assert code == 64
+
+
+def test_cli_certify(capsys):
+    code = main(["certify", "star:5", "--catalog", "acyclic"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "accepted=True" in out
+
+
+def test_cli_catalog(capsys):
+    code = main(["catalog"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "independent-set" in out and "acyclic" in out
+
+
+def test_cli_unknown_catalog_name(capsys):
+    code = main(["check", "path:3", "--catalog", "nonsense"])
+    assert code == 64
+
+
+def test_cli_requires_formula(capsys):
+    code = main(["check", "path:3"])
+    assert code == 64

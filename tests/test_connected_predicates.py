@@ -1,0 +1,67 @@
+"""Connected-subset predicates: induced connectivity, connected dominating
+set (virtual backbone)."""
+
+import pytest
+
+from repro.algebra import compile_formula, optimize
+from repro.distributed import optimize_distributed
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph import properties as props
+from repro.mso import evaluate, formulas, vertex_set
+from repro.treedepth import optimal_elimination_forest
+
+
+def test_connected_subset_semantics():
+    g = gen.path(5)
+    s = vertex_set("S")
+    f = formulas.connected_subset(s)
+    assert evaluate(g, f, {s: frozenset({1, 2, 3})})
+    assert not evaluate(g, f, {s: frozenset({0, 2})})
+    assert evaluate(g, f, {s: frozenset()})
+    assert evaluate(g, f, {s: frozenset({4})})
+
+
+def test_connected_subset_engine_matches_semantics():
+    s = vertex_set("S")
+    f = formulas.connected_subset(s)
+    automaton = compile_formula(f, (s,))
+    from repro.algebra import check_assignment
+
+    g = gen.cycle(5)
+    forest = optimal_elimination_forest(g)
+    for subset in [frozenset(), frozenset({0, 1}), frozenset({0, 2}),
+                   frozenset({0, 1, 2, 3, 4}), frozenset({1, 2, 4})]:
+        expected = evaluate(g, f, {s: subset})
+        assert check_assignment(f, g, forest, {s: subset}, automaton) == expected
+
+
+def test_min_connected_dominating_set():
+    s = vertex_set("S")
+    f = formulas.connected_dominating_set(s)
+    for g in [gen.path(6), gen.star(4), gen.cycle(6),
+              gen.random_bounded_treedepth(8, 3, seed=3)]:
+        forest = optimal_elimination_forest(g)
+        result = optimize(f, g, forest, s, maximize=False)
+        oracle = props.min_connected_dominating_set(g)
+        assert result is not None and oracle is not None
+        assert result.value == oracle[0], g
+        assert props.is_dominating_set(g, result.witness)
+        assert g.induced_subgraph(result.witness).is_connected()
+
+
+def test_distributed_connected_dominating_set():
+    s = vertex_set("S")
+    automaton = compile_formula(formulas.connected_dominating_set(s), (s,))
+    g = gen.caterpillar(3, 2)
+    outcome = optimize_distributed(automaton, g, d=4, maximize=False)
+    assert outcome.feasible
+    oracle = props.min_connected_dominating_set(g)
+    assert oracle is not None and outcome.value == oracle[0]
+    assert props.is_dominating_set(g, outcome.witness)
+    assert g.induced_subgraph(outcome.witness).is_connected()
+
+
+def test_cds_oracle_none_only_for_empty():
+    assert props.min_connected_dominating_set(Graph()) is None
+    assert props.min_connected_dominating_set(Graph([0])) == (1, frozenset({0}))

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run end-to-end and make sense.
+
+The examples are user-facing documentation; breaking one silently would be
+worse than a failing unit test.  They execute in-process (their ``main``
+functions) with stdout captured.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    load_example("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "2-colorable?" in out
+    assert "constant in n" in out
+
+
+def test_service_placement(capsys):
+    load_example("service_placement.py").main()
+    out = capsys.readouterr().out
+    assert "optimal hosting cost" in out
+    assert "verified against brute force" in out
+
+
+def test_motif_audit(capsys):
+    load_example("motif_audit.py").main()
+    out = capsys.readouterr().out
+    assert "triangles:" in out
+    assert "triangle-free? True" in out
+
+
+def test_certified_topology(capsys):
+    load_example("certified_topology.py").main()
+    out = capsys.readouterr().out
+    assert "audit: accepted=True" in out
+    assert "tampered audit: accepted=False" in out

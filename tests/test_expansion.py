@@ -1,0 +1,160 @@
+"""Low treedepth decompositions and the Corollary 7.3 H-freeness pipeline."""
+
+import math
+
+import pytest
+
+from repro.distributed import decide_h_freeness
+from repro.errors import DecompositionError, ProtocolError
+from repro.expansion import (
+    degeneracy_ordering,
+    depth_coloring_decomposition,
+    grid_residue_decomposition,
+    union_graph,
+    verify_decomposition,
+)
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph import properties as props
+
+
+# ----------------------------------------------------------------------
+# Degeneracy
+# ----------------------------------------------------------------------
+
+def test_degeneracy_ordering_values():
+    order, degen = degeneracy_ordering(gen.clique(4))
+    assert degen == 3
+    assert len(order) == 4
+    _, d_path = degeneracy_ordering(gen.path(6))
+    assert d_path == 1
+    _, d_grid = degeneracy_ordering(gen.grid(4, 4))
+    assert d_grid == 2
+
+
+def test_degeneracy_ordering_property():
+    # Every vertex has at most `degeneracy` neighbors later in the order.
+    g = gen.random_connected_graph(15, 10, seed=6)
+    order, degen = degeneracy_ordering(g)
+    position = {v: i for i, v in enumerate(order)}
+    for v in g.vertices():
+        later = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+        assert later <= degen
+
+
+# ----------------------------------------------------------------------
+# Low treedepth decompositions
+# ----------------------------------------------------------------------
+
+def test_depth_coloring_decomposition_valid():
+    for g in [gen.path(20), gen.caterpillar(5, 2),
+              gen.random_bounded_treedepth(14, 3, seed=3)]:
+        decomposition = depth_coloring_decomposition(g, p=2)
+        verify_decomposition(g, decomposition, q=2)
+
+
+def test_depth_coloring_covers_all_vertices():
+    g = gen.path(10)
+    decomposition = depth_coloring_decomposition(g, p=3)
+    assert set(decomposition.part_of) == set(g.vertices())
+    parts = decomposition.parts()
+    assert sum(len(vs) for vs in parts.values()) == 10
+
+
+def test_grid_residue_decomposition_valid():
+    g = gen.grid(6, 6)
+    decomposition = grid_residue_decomposition(6, 6, p=2)
+    assert decomposition.num_parts == 9
+    verify_decomposition(g, decomposition, q=2)
+
+
+def test_grid_residue_windows_bound_components():
+    rows = cols = 8
+    p = 2
+    g = gen.grid(rows, cols)
+    decomposition = grid_residue_decomposition(rows, cols, p)
+    for index_set in decomposition.union_subsets(p):
+        sub = union_graph(g, decomposition, index_set)
+        for comp in sub.connected_components():
+            # Components fit in a (p+1) x (p+1) window.
+            rs = [v // cols for v in comp]
+            cs = [v % cols for v in comp]
+            assert max(rs) - min(rs) <= p
+            assert max(cs) - min(cs) <= p
+
+
+def test_grid_residue_rejects_bad_params():
+    with pytest.raises(DecompositionError):
+        grid_residue_decomposition(0, 5, 2)
+
+
+def test_union_subsets_enumeration():
+    decomposition = grid_residue_decomposition(3, 3, p=1)
+    subsets = list(decomposition.union_subsets(1))
+    assert all(len(s) == 1 for s in subsets)
+    subsets2 = list(decomposition.union_subsets(2))
+    assert any(len(s) == 2 for s in subsets2)
+
+
+def test_verify_decomposition_catches_violations():
+    # A fake decomposition putting everything in one part of a cycle of
+    # treedepth 3 must fail the q=1 bound of 1.
+    g = gen.cycle(6)
+    from repro.expansion import LowTreedepthDecomposition
+
+    fake = LowTreedepthDecomposition(
+        p=1, part_of={v: 0 for v in g.vertices()}, num_parts=1, bound_kind="linear"
+    )
+    with pytest.raises(DecompositionError):
+        verify_decomposition(g, fake, q=1)
+
+
+# ----------------------------------------------------------------------
+# Corollary 7.3 pipeline
+# ----------------------------------------------------------------------
+
+def test_h_freeness_on_grids():
+    g = gen.grid(5, 5)
+    decomposition = grid_residue_decomposition(5, 5, p=3)
+    triangle = gen.triangle()
+    outcome = decide_h_freeness(g, triangle, decomposition)
+    assert outcome.h_free  # grids are triangle-free
+    c4 = gen.cycle(4)
+    decomposition4 = grid_residue_decomposition(5, 5, p=4)
+    outcome2 = decide_h_freeness(g, c4, decomposition4)
+    assert not outcome2.h_free  # grids are full of 4-cycles
+    assert outcome2.runs >= 1
+
+
+def test_h_freeness_matches_oracle_on_caterpillars():
+    g = gen.caterpillar(4, 2)
+    decomposition = depth_coloring_decomposition(g, p=4)
+    for pattern in [gen.path(3), gen.star(3), gen.triangle()]:
+        outcome = decide_h_freeness(g, pattern, decomposition)
+        assert outcome.h_free == (not props.has_subgraph(g, pattern)), pattern
+
+
+def test_h_freeness_requires_connected_pattern():
+    from repro.graph import disjoint_union
+
+    g = gen.grid(3, 3)
+    decomposition = grid_residue_decomposition(3, 3, p=4)
+    disconnected = disjoint_union(gen.path(2), gen.path(2))
+    with pytest.raises(ProtocolError):
+        decide_h_freeness(g, disconnected, decomposition)
+
+
+def test_h_freeness_requires_large_enough_p():
+    g = gen.grid(3, 3)
+    decomposition = grid_residue_decomposition(3, 3, p=1)
+    with pytest.raises(ProtocolError):
+        decide_h_freeness(g, gen.triangle(), decomposition)
+
+
+def test_h_freeness_round_accounting():
+    g = gen.grid(4, 4)
+    decomposition = grid_residue_decomposition(4, 4, p=2)
+    outcome = decide_h_freeness(g, gen.path(2), decomposition)
+    assert outcome.decomposition_rounds == math.ceil(math.log2(16))
+    assert outcome.total_rounds == outcome.decomposition_rounds + outcome.checking_rounds
+    assert not outcome.h_free  # any edge is a P2

@@ -1,0 +1,166 @@
+"""The remaining Section 1.1 problems: clique partitions, edge coloring,
+Eulerian (even) subgraphs, cubic subgraphs, and the direct clique atom."""
+
+import pytest
+
+from repro.algebra import check, compile_formula, optimize
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph import properties as props
+from repro.mso import IncParity, IsClique, evaluate, formulas, vertex_set, edge_set
+from repro.treedepth import dfs_elimination_forest, optimal_elimination_forest
+
+
+def graph_zoo():
+    return [
+        Graph([0]),
+        gen.path(4),
+        gen.cycle(4),
+        gen.cycle(5),
+        gen.star(3),
+        gen.clique(4),
+        gen.paw(),
+        gen.diamond(),
+        gen.complete_bipartite(2, 3),
+        gen.random_connected_graph(6, 3, seed=4),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Atom semantics
+# ----------------------------------------------------------------------
+
+def test_is_clique_semantics():
+    g = gen.paw()  # triangle 0,1,2 plus pendant 3 on 0
+    s = vertex_set("S")
+    assert evaluate(g, IsClique(s), {s: frozenset({0, 1, 2})})
+    assert not evaluate(g, IsClique(s), {s: frozenset({1, 2, 3})})
+    assert evaluate(g, IsClique(s), {s: frozenset()})
+    assert evaluate(g, IsClique(s), {s: frozenset({3})})
+
+
+def test_inc_parity_semantics():
+    g = gen.cycle(4)
+    e = edge_set("E")
+    assert evaluate(g, IncParity(e, even=True), {e: frozenset(g.edges())})
+    assert not evaluate(
+        g, IncParity(e, even=True), {e: frozenset({(0, 1)})}
+    )
+    within = vertex_set("W")
+    assert evaluate(
+        g,
+        IncParity(e, even=False, within=within),
+        {e: frozenset({(0, 1)}), within: frozenset({0, 1})},
+    )
+
+
+def test_inc_counts_with_cap_semantics():
+    from repro.mso import IncCounts
+
+    g = gen.clique(4)
+    e = edge_set("E")
+    # All six K4 edges: every vertex has degree exactly 3.
+    env = {e: frozenset(g.edges())}
+    assert evaluate(g, IncCounts(e, frozenset({3}), cap=4), env)
+    assert not evaluate(g, IncCounts(e, frozenset({4}), cap=4), env)
+
+
+# ----------------------------------------------------------------------
+# Closed formulas vs oracles (engine + semantics)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_partition_into_k_cliques(k):
+    formula = formulas.partition_into_k_cliques(k)
+    automaton = compile_formula(formula, ())
+    for g in graph_zoo():
+        expected = props.can_partition_into_k_cliques(g, k)
+        for forest in (optimal_elimination_forest(g), dfs_elimination_forest(g)):
+            assert check(formula, g, forest, automaton) == expected, (k, g)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_edge_k_colorable(k):
+    formula = formulas.edge_k_colorable(k)
+    automaton = compile_formula(formula, ())
+    for g in graph_zoo():
+        expected = props.chromatic_index_at_most(g, k)
+        forest = optimal_elimination_forest(g)
+        assert check(formula, g, forest, automaton) == expected, (k, g)
+
+
+def test_has_even_subgraph_iff_cyclic():
+    formula = formulas.has_even_subgraph()
+    automaton = compile_formula(formula, ())
+    for g in graph_zoo():
+        expected = not props.is_acyclic(g)
+        forest = optimal_elimination_forest(g)
+        assert check(formula, g, forest, automaton) == expected, g
+
+
+def test_has_cubic_subgraph():
+    formula = formulas.has_cubic_subgraph()
+    automaton = compile_formula(formula, ())
+    for g in [gen.clique(4), gen.path(5), gen.cycle(5), gen.star(4),
+              gen.complete_bipartite(3, 3)]:
+        expected = props.has_cubic_subgraph(g)
+        forest = optimal_elimination_forest(g)
+        assert check(formula, g, forest, automaton) == expected, g
+    assert check(
+        formulas.has_cubic_subgraph(),
+        gen.clique(4),
+        optimal_elimination_forest(gen.clique(4)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Max clique via the direct atom
+# ----------------------------------------------------------------------
+
+def test_max_clique_via_atom_matches_quantifier_version():
+    s = vertex_set("S")
+    direct = formulas.max_clique_set(s)
+    for g in graph_zoo():
+        forest = optimal_elimination_forest(g)
+        result = optimize(direct, g, forest, s, maximize=True)
+        assert result is not None
+        # Compare against the brute-force clique number.
+        best = max(
+            (len(sub) for sub in _all_cliques(g)), default=0
+        )
+        assert result.value == best, g
+        assert props.is_clique(g, result.witness)
+
+
+def _all_cliques(graph):
+    vertices = graph.vertices()
+    for mask in range(1 << len(vertices)):
+        subset = [vertices[i] for i in range(len(vertices)) if mask >> i & 1]
+        if props.is_clique(graph, subset):
+            yield subset
+
+
+def test_clique_atom_cheaper_than_quantifiers():
+    s = vertex_set("S")
+    direct = compile_formula(formulas.max_clique_set(s), (s,))
+    literal = compile_formula(formulas.clique_set(s), (s,))
+    g = gen.random_connected_graph(8, 6, seed=2)
+    forest = dfs_elimination_forest(g)
+    r1 = optimize(formulas.max_clique_set(s), g, forest, s, automaton=direct)
+    r2 = optimize(formulas.clique_set(s), g, forest, s, automaton=literal)
+    assert r1 is not None and r2 is not None
+    assert r1.value == r2.value
+    assert direct.num_classes() <= literal.num_classes()
+
+
+def test_distributed_max_clique():
+    from repro.distributed import optimize_distributed
+
+    s = vertex_set("S")
+    automaton = compile_formula(formulas.max_clique_set(s), (s,))
+    g = gen.random_bounded_treedepth(10, 3, seed=6, edge_prob=0.8)
+    outcome = optimize_distributed(automaton, g, d=3, maximize=True)
+    assert outcome.feasible
+    assert props.is_clique(g, outcome.witness)
+    best = max(len(sub) for sub in _all_cliques(g))
+    assert outcome.value == best

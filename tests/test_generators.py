@@ -1,0 +1,180 @@
+"""Unit tests for repro.graph.generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph.properties import is_acyclic, max_degree
+
+
+def test_path():
+    g = gen.path(5)
+    assert g.num_vertices() == 5
+    assert g.num_edges() == 4
+    assert g.is_connected()
+    assert gen.path(1).num_edges() == 0
+    with pytest.raises(GraphError):
+        gen.path(0)
+
+
+def test_cycle():
+    g = gen.cycle(4)
+    assert g.num_edges() == 4
+    assert all(g.degree(v) == 2 for v in g)
+    with pytest.raises(GraphError):
+        gen.cycle(2)
+
+
+def test_star():
+    g = gen.star(4)
+    assert g.degree(0) == 4
+    assert all(g.degree(v) == 1 for v in range(1, 5))
+
+
+def test_clique():
+    g = gen.clique(5)
+    assert g.num_edges() == 10
+    assert all(g.degree(v) == 4 for v in g)
+
+
+def test_complete_bipartite():
+    g = gen.complete_bipartite(2, 3)
+    assert g.num_edges() == 6
+    assert not g.has_edge(0, 1)
+    assert g.has_edge(0, 2)
+
+
+def test_grid():
+    g = gen.grid(3, 4)
+    assert g.num_vertices() == 12
+    assert g.num_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+    assert g.is_connected()
+
+
+def test_complete_binary_tree():
+    g = gen.complete_binary_tree(4)
+    assert g.num_vertices() == 15
+    assert is_acyclic(g)
+    assert g.is_connected()
+
+
+def test_caterpillar():
+    g = gen.caterpillar(3, 2)
+    assert g.num_vertices() == 3 + 6
+    assert is_acyclic(g)
+    assert g.is_connected()
+
+
+def test_path_with_claw():
+    g = gen.path_with_claw(6)
+    assert g.num_vertices() == 9
+    assert g.degree(0) == 4  # path neighbor + 3 claw leaves
+    assert max_degree(g) == 4
+    assert is_acyclic(g)
+
+
+def test_fan_is_connected_and_dense_at_apex():
+    g = gen.fan(6)
+    assert g.degree(0) == 5
+    assert g.is_connected()
+
+
+def test_random_tree_is_tree():
+    for seed in range(5):
+        g = gen.random_tree(20, seed=seed)
+        assert g.num_edges() == 19
+        assert g.is_connected()
+        assert is_acyclic(g)
+
+
+def test_random_elimination_forest_depth_respected():
+    parent = gen.random_elimination_forest(30, depth=4, seed=1)
+    level = {}
+
+    def depth_of(v):
+        if v in level:
+            return level[v]
+        p = parent[v]
+        level[v] = 1 if p is None else depth_of(p) + 1
+        return level[v]
+
+    assert all(depth_of(v) <= 4 for v in parent)
+    assert sum(1 for v in parent if parent[v] is None) == 1  # connected
+
+
+def test_random_bounded_treedepth_has_bounded_treedepth():
+    from repro.treedepth import treedepth
+
+    for seed in range(3):
+        g = gen.random_bounded_treedepth(10, depth=3, edge_prob=0.7, seed=seed)
+        assert g.is_connected()
+        assert treedepth(g) <= 3
+
+
+def test_tree_closure_of_path_chain():
+    parent = {0: None, 1: 0, 2: 1, 3: 2}
+    g = gen.tree_closure(parent)
+    assert g.num_edges() == 6  # complete graph on a chain's closure
+    from repro.treedepth import treedepth
+
+    assert treedepth(g) == 4
+
+
+def test_random_connected_graph():
+    g = gen.random_connected_graph(15, extra_edges=5, seed=2)
+    assert g.is_connected()
+    assert g.num_edges() == 14 + 5
+
+
+def test_random_maximal_outerplanar():
+    for seed in range(4):
+        n = 10
+        g = gen.random_maximal_outerplanar(n, seed=seed)
+        # A maximal outerplanar graph on n vertices has 2n - 3 edges.
+        assert g.num_edges() == 2 * n - 3, seed
+        assert g.is_connected()
+        from repro.treedepth import degeneracy
+
+        assert degeneracy(g) == 2  # outerplanar => 2-degenerate
+    with pytest.raises(GraphError):
+        gen.random_maximal_outerplanar(2)
+
+
+def test_random_maximal_outerplanar_feeds_expansion_pipeline():
+    from repro.distributed import decide_h_freeness
+    from repro.expansion import depth_coloring_decomposition
+    from repro.graph.properties import has_subgraph
+
+    g = gen.random_maximal_outerplanar(9, seed=1)
+    decomposition = depth_coloring_decomposition(g, p=3)
+    outcome = decide_h_freeness(g, gen.triangle(), decomposition)
+    assert outcome.h_free == (not has_subgraph(g, gen.triangle()))
+    assert not outcome.h_free  # triangulations are full of triangles
+
+
+def test_random_apex_tree():
+    g = gen.random_apex_tree(8, seed=2)
+    assert g.num_vertices() == 9
+    assert g.degree(8) == 8
+    assert g.is_connected()
+    from repro.treedepth import treedepth
+
+    assert treedepth(g) <= 1 + treedepth(gen.random_tree(8, seed=2))
+    with pytest.raises(GraphError):
+        gen.random_apex_tree(0)
+
+
+def test_named_patterns():
+    assert gen.named_pattern("triangle").num_edges() == 3
+    assert gen.named_pattern("c4").num_edges() == 4
+    assert gen.named_pattern("claw").num_vertices() == 4
+    assert gen.named_pattern("paw").num_edges() == 4
+    assert gen.named_pattern("diamond").num_edges() == 5
+    with pytest.raises(GraphError):
+        gen.named_pattern("nonsense")
+
+
+def test_generators_are_deterministic():
+    a = gen.random_bounded_treedepth(12, 3, seed=7)
+    b = gen.random_bounded_treedepth(12, 3, seed=7)
+    assert a == b

@@ -1,0 +1,199 @@
+"""Unit tests for repro.graph.graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, canonical_edge, disjoint_union, relabeled
+from repro.graph.generators import clique, cycle, path
+
+
+def test_empty_graph():
+    g = Graph()
+    assert g.num_vertices() == 0
+    assert g.num_edges() == 0
+    assert g.vertices() == []
+    assert g.edges() == []
+
+
+def test_add_vertex_idempotent():
+    g = Graph()
+    g.add_vertex(3)
+    g.add_vertex(3)
+    assert g.vertices() == [3]
+
+
+def test_add_edge_creates_endpoints():
+    g = Graph()
+    g.add_edge(2, 1)
+    assert g.vertices() == [1, 2]
+    assert g.edges() == [(1, 2)]
+    assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+
+def test_canonical_edge_orders_endpoints():
+    assert canonical_edge(5, 2) == (2, 5)
+    assert canonical_edge(2, 5) == (2, 5)
+
+
+def test_self_loop_rejected():
+    with pytest.raises(GraphError):
+        canonical_edge(1, 1)
+    g = Graph()
+    with pytest.raises(GraphError):
+        g.add_edge(4, 4)
+
+
+def test_neighbors_and_degree():
+    g = path(4)
+    assert g.neighbors(0) == [1]
+    assert g.neighbors(1) == [0, 2]
+    assert g.degree(1) == 2
+    assert g.degree(0) == 1
+
+
+def test_unknown_vertex_raises():
+    g = Graph([1])
+    with pytest.raises(GraphError):
+        g.neighbors(9)
+    with pytest.raises(GraphError):
+        g.degree(9)
+    with pytest.raises(GraphError):
+        g.remove_vertex(9)
+
+
+def test_remove_vertex_removes_incident_edges():
+    g = cycle(4)
+    g.remove_vertex(0)
+    assert g.num_vertices() == 3
+    assert g.edges() == [(1, 2), (2, 3)]
+
+
+def test_remove_edge():
+    g = path(3)
+    g.remove_edge(1, 0)
+    assert g.edges() == [(1, 2)]
+    with pytest.raises(GraphError):
+        g.remove_edge(0, 1)
+
+
+def test_labels_roundtrip():
+    g = path(3)
+    g.add_vertex_label(0, "red")
+    g.add_vertex_label(0, "source")
+    g.add_edge_label(0, 1, "marked")
+    assert g.vertex_labels(0) == {"red", "source"}
+    assert g.vertex_labels(1) == frozenset()
+    assert g.has_vertex_label(0, "red")
+    assert not g.has_vertex_label(1, "red")
+    assert g.has_edge_label(1, 0, "marked")
+    assert g.edge_labels(1, 2) == frozenset()
+
+
+def test_weights_default_to_one():
+    g = path(3)
+    assert g.vertex_weight(0) == 1
+    assert g.edge_weight(0, 1) == 1
+    g.set_vertex_weight(0, 7)
+    g.set_edge_weight(0, 1, -2)
+    assert g.vertex_weight(0) == 7
+    assert g.edge_weight(1, 0) == -2
+
+
+def test_induced_subgraph_preserves_structure_labels_weights():
+    g = cycle(5)
+    g.add_vertex_label(1, "x")
+    g.add_edge_label(1, 2, "y")
+    g.set_vertex_weight(1, 3)
+    g.set_edge_weight(1, 2, 9)
+    h = g.induced_subgraph([1, 2, 3])
+    assert h.vertices() == [1, 2, 3]
+    assert h.edges() == [(1, 2), (2, 3)]
+    assert h.vertex_labels(1) == {"x"}
+    assert h.edge_labels(1, 2) == {"y"}
+    assert h.vertex_weight(1) == 3
+    assert h.edge_weight(1, 2) == 9
+
+
+def test_induced_subgraph_unknown_vertex():
+    with pytest.raises(GraphError):
+        path(3).induced_subgraph([0, 99])
+
+
+def test_without_vertices():
+    g = clique(4)
+    h = g.without_vertices([0])
+    assert h.vertices() == [1, 2, 3]
+    assert h.num_edges() == 3
+
+
+def test_connected_components():
+    g = Graph(range(5), [(0, 1), (2, 3)])
+    assert g.connected_components() == [[0, 1], [2, 3], [4]]
+    assert not g.is_connected()
+    assert path(4).is_connected()
+
+
+def test_bfs_distances_and_diameter():
+    g = path(5)
+    dist = g.bfs_distances(0)
+    assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+    assert g.diameter() == 4
+    assert cycle(6).diameter() == 3
+    with pytest.raises(GraphError):
+        Graph([0, 1]).diameter()
+
+
+def test_copy_is_deep_enough():
+    g = path(3)
+    g.add_vertex_label(0, "a")
+    h = g.copy()
+    h.add_edge(0, 2)
+    h.add_vertex_label(0, "b")
+    assert not g.has_edge(0, 2)
+    assert g.vertex_labels(0) == {"a"}
+    assert g != h
+
+
+def test_equality():
+    assert path(3) == path(3)
+    assert path(3) != cycle(3)
+
+
+def test_relabeled():
+    g = path(3)
+    g.add_vertex_label(0, "a")
+    g.set_vertex_weight(2, 5)
+    g.add_edge_label(0, 1, "e")
+    g.set_edge_weight(1, 2, 4)
+    h = relabeled(g, {0: 10, 1: 11, 2: 12})
+    assert h.vertices() == [10, 11, 12]
+    assert h.edges() == [(10, 11), (11, 12)]
+    assert h.vertex_labels(10) == {"a"}
+    assert h.vertex_weight(12) == 5
+    assert h.edge_labels(10, 11) == {"e"}
+    assert h.edge_weight(11, 12) == 4
+
+
+def test_relabeled_requires_injective():
+    with pytest.raises(GraphError):
+        relabeled(path(3), {0: 1})
+
+
+def test_disjoint_union():
+    g = disjoint_union(path(2), path(3))
+    assert g.num_vertices() == 5
+    assert g.edges() == [(0, 1), (2, 3), (3, 4)]
+    assert len(g.connected_components()) == 2
+
+
+def test_iteration_protocols():
+    g = path(3)
+    assert list(g) == [0, 1, 2]
+    assert len(g) == 3
+    assert 1 in g and 9 not in g
+    assert "n=3" in repr(g)
+
+
+def test_incident_edges():
+    g = cycle(4)
+    assert g.incident_edges(0) == [(0, 1), (0, 3)]

@@ -1,0 +1,295 @@
+"""Additional integration coverage: less-common problems, failure paths,
+multi-variable counting, and weighted/labeled corner cases."""
+
+import pytest
+
+from repro.algebra import (
+    check,
+    check_assignment,
+    compile_formula,
+    compile_with_singletons,
+    count,
+    optimize,
+)
+from repro.errors import ReproError
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph import properties as props
+from repro.mso import (
+    Adj,
+    Inc,
+    and_,
+    edge,
+    edge_set,
+    evaluate,
+    exists,
+    formulas,
+    vertex,
+    vertex_set,
+)
+from repro.treedepth import EliminationForest, optimal_elimination_forest
+
+
+def forest_of(g):
+    return optimal_elimination_forest(g)
+
+
+# ----------------------------------------------------------------------
+# More optimization problems from the paper's Section 1.1 list
+# ----------------------------------------------------------------------
+
+def test_maximum_clique():
+    s = vertex_set("S")
+    formula = formulas.clique_set(s)
+    for g, expected in [(gen.clique(4), 4), (gen.paw(), 3), (gen.path(4), 2),
+                        (gen.cycle(5), 2)]:
+        result = optimize(formula, g, forest_of(g), s, maximize=True)
+        assert result is not None
+        assert result.value == expected, g
+        assert props.is_clique(g, result.witness)
+
+
+def test_maximum_induced_forest():
+    s = vertex_set("S")
+    formula = formulas.induced_forest(s)
+    for g in [gen.cycle(5), gen.diamond(), gen.clique(4)]:
+        result = optimize(formula, g, forest_of(g), s, maximize=True)
+        assert result is not None
+        fvs, _ = props.min_feedback_vertex_set(g)
+        assert result.value == g.num_vertices() - fvs
+        assert props.is_acyclic(g.induced_subgraph(result.witness))
+
+
+def test_min_blue_dominating_reds():
+    g = gen.star(4)
+    g.add_vertex_label(0, "blue")
+    g.add_vertex_label(1, "blue")
+    for leaf in (1, 2, 3, 4):
+        g.add_vertex_label(leaf, "red")
+    s = vertex_set("S")
+    formula = formulas.dominated_reds_by_blues(s)
+    result = optimize(formula, g, forest_of(g), s, maximize=False)
+    assert result is not None
+    assert result.witness == frozenset({0})
+    assert result.value == 1
+
+
+def test_perfect_matching_selection():
+    m = edge_set("M")
+    formula = formulas.perfect_matching(m)
+    g = gen.cycle(6)
+    result = optimize(formula, g, forest_of(g), m, maximize=True)
+    assert result is not None
+    assert props.is_perfect_matching(g, result.witness)
+
+
+def test_spanning_tree_on_larger_cycle_with_weights():
+    g = gen.cycle(6)
+    for i, (u, v) in enumerate(g.edges()):
+        g.set_edge_weight(u, v, i + 1)
+    t = edge_set("T")
+    formula = formulas.spanning_tree(t)
+    result = optimize(formula, g, forest_of(g), t, maximize=False)
+    assert result is not None
+    assert result.value == props.min_spanning_tree_weight(g)
+    assert props.is_spanning_tree(g, result.witness)
+
+
+# ----------------------------------------------------------------------
+# Counting with multiple and mixed variables
+# ----------------------------------------------------------------------
+
+def test_count_incident_pairs():
+    x, e = vertex("x"), edge("e")
+    formula = Inc(x, e)
+    for g in [gen.path(4), gen.star(3), gen.cycle(5)]:
+        got = count(formula, g, forest_of(g), (x, e))
+        assert got == 2 * g.num_edges(), g  # each edge has two endpoints
+
+
+def test_count_ordered_edges_as_adjacent_pairs():
+    x, y = vertex("x"), vertex("y")
+    formula = Adj(x, y)
+    g = gen.cycle(5)
+    assert count(formula, g, forest_of(g), (x, y)) == 2 * g.num_edges()
+
+
+def test_count_mixed_vertex_and_set():
+    # Pairs (x, S) with x isolated in S's induced graph... simpler: x in S.
+    from repro.mso import In
+
+    x, s = vertex("x"), vertex_set("S")
+    formula = In(x, s)
+    g = gen.path(3)
+    # For each vertex x, S ranges over subsets containing x: 2^(n-1) each.
+    assert count(formula, g, forest_of(g), (x, s)) == 3 * 4
+
+
+def test_count_respects_labels():
+    from repro.mso import HasLabel
+
+    x = vertex("x")
+    g = gen.path(4)
+    g.add_vertex_label(1, "hot")
+    g.add_vertex_label(3, "hot")
+    assert count(HasLabel(x, "hot"), g, forest_of(g), (x,)) == 2
+
+
+# ----------------------------------------------------------------------
+# check_assignment with labels / marked sets
+# ----------------------------------------------------------------------
+
+def test_check_assignment_marked_spanning_tree():
+    g = gen.cycle(4)
+    t = edge_set("T")
+    formula = formulas.spanning_tree(t)
+    automaton = compile_formula(formula, (t,))
+    good = frozenset({(0, 1), (1, 2), (2, 3)})
+    bad = frozenset({(0, 1), (2, 3)})
+    assert check_assignment(formula, g, forest_of(g), {t: good}, automaton)
+    assert not check_assignment(formula, g, forest_of(g), {t: bad}, automaton)
+
+
+def test_edge_labeled_counting():
+    from repro.mso import HasLabel
+
+    e = edge("e")
+    g = gen.cycle(4)
+    g.add_edge_label(0, 1, "backbone")
+    g.add_edge_label(2, 3, "backbone")
+    assert count(HasLabel(e, "backbone"), g, forest_of(g), (e,)) == 2
+
+
+# ----------------------------------------------------------------------
+# Failure paths
+# ----------------------------------------------------------------------
+
+def test_optimize_requires_set_variable():
+    x = vertex("x")
+    with pytest.raises(ReproError):
+        optimize(Adj(x, x), gen.path(2), forest_of(gen.path(2)), x)
+
+
+def test_optimize_rejects_wrong_scope_automaton():
+    s = vertex_set("S")
+    other = vertex_set("T")
+    automaton = compile_formula(formulas.independent_set(other), (other,))
+    with pytest.raises(ReproError):
+        optimize(
+            formulas.independent_set(s),
+            gen.path(2),
+            forest_of(gen.path(2)),
+            s,
+            automaton=automaton,
+        )
+
+
+def test_run_states_requires_vertices():
+    from repro.algebra import run_states
+
+    automaton = compile_formula(formulas.acyclic(), ())
+    with pytest.raises(ReproError):
+        run_states(automaton, Graph(), EliminationForest({}))
+
+
+def test_count_on_empty_graph_falls_back():
+    x = vertex("x")
+    assert count(Adj(x, x), Graph(), EliminationForest({}), (x,)) == 0
+
+
+def test_optimize_on_empty_graph():
+    s = vertex_set("S")
+    assert optimize(formulas.independent_set(s), Graph(), EliminationForest({}), s) is None
+
+
+# ----------------------------------------------------------------------
+# Negative weights (the paper allows w : V ∪ E -> Z)
+# ----------------------------------------------------------------------
+
+def test_negative_weights_max_independent_set():
+    g = gen.path(5)
+    weights = {0: 3, 1: -1, 2: 4, 3: -2, 4: 5}
+    for v, w in weights.items():
+        g.set_vertex_weight(v, w)
+    s = vertex_set("S")
+    formula = formulas.independent_set(s)
+    result = optimize(formula, g, forest_of(g), s, maximize=True)
+    from repro.mso import optimize as brute
+
+    expected = brute(g, formula, s, maximize=True, weight=weights)
+    assert result is not None and expected is not None
+    assert result.value == expected[0] == 12  # {0, 2, 4}
+
+
+def test_negative_weight_edges_mst_style():
+    g = gen.cycle(4)
+    g.set_edge_weight(0, 1, -5)
+    g.set_edge_weight(1, 2, 2)
+    g.set_edge_weight(2, 3, 2)
+    g.set_edge_weight(0, 3, 2)
+    t = edge_set("T")
+    formula = formulas.spanning_tree(t)
+    result = optimize(formula, g, forest_of(g), t, maximize=False)
+    assert result is not None
+    assert result.value == -1  # -5 + 2 + 2
+    assert (0, 1) in result.witness
+
+
+def test_distributed_negative_weights():
+    from repro.distributed import optimize_distributed
+
+    g = gen.star(4)
+    g.set_vertex_weight(0, -10)
+    s = vertex_set("S")
+    automaton = compile_formula(formulas.dominating_set(s), (s,))
+    outcome = optimize_distributed(automaton, g, d=2, maximize=False)
+    assert outcome.feasible
+    # Taking the center *and* nothing else costs -10; any leaf-only
+    # dominating set costs >= 4.
+    assert outcome.value == -10
+    assert outcome.witness == frozenset({0})
+
+
+# ----------------------------------------------------------------------
+# Edge labels through the distributed pipeline
+# ----------------------------------------------------------------------
+
+def test_distributed_edge_labels():
+    from repro.distributed import decide
+    from repro.mso import parse
+
+    g = gen.path(4)
+    g.add_edge_label(1, 2, "backbone")
+    formula = parse("exists e:E . label(backbone, e)")
+    automaton = compile_formula(formula, ())
+    assert decide(automaton, g, d=3).accepted
+    bare = gen.path(4)
+    assert not decide(automaton, bare, d=3).accepted
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+
+def test_optimization_is_deterministic():
+    s = vertex_set("S")
+    formula = formulas.independent_set(s)
+    g = gen.cycle(6)
+    results = [
+        optimize(formula, g, forest_of(g), s, maximize=True) for _ in range(3)
+    ]
+    assert len({r.witness for r in results}) == 1
+
+
+def test_distributed_matches_sequential_on_random_batch():
+    from repro.distributed import decide
+    from repro.treedepth import treedepth
+
+    formula = formulas.k_colorable(2)
+    automaton = compile_formula(formula, ())
+    for seed in range(5):
+        g = gen.random_bounded_treedepth(9, 3, seed=seed, edge_prob=0.5)
+        sequential = check(formula, g, forest_of(g), automaton)
+        distributed = decide(automaton, g, d=3)
+        assert not distributed.treedepth_exceeded
+        assert distributed.accepted == sequential, seed

@@ -1,0 +1,53 @@
+"""networkx interoperability (skipped when networkx is unavailable)."""
+
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.errors import GraphError
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph.interop import from_networkx, to_networkx
+from repro.graph.properties import count_triangles
+
+
+def test_roundtrip_plain():
+    g = gen.cycle(5)
+    assert from_networkx(to_networkx(g)) == g
+
+
+def test_roundtrip_labels_weights():
+    g = gen.path(3)
+    g.add_vertex_label(0, "red")
+    g.set_vertex_weight(1, 7)
+    g.add_edge_label(0, 1, "fast")
+    g.set_edge_weight(1, 2, -2)
+    assert from_networkx(to_networkx(g)) == g
+
+
+def test_from_networkx_builtin_generators():
+    g = from_networkx(nx.petersen_graph())
+    assert g.num_vertices() == 10
+    assert g.num_edges() == 15
+    assert all(g.degree(v) == 3 for v in g)
+    assert count_triangles(g) == 0
+
+
+def test_from_networkx_rejects_self_loops():
+    loopy = nx.Graph()
+    loopy.add_edge(1, 1)
+    with pytest.raises(GraphError):
+        from_networkx(loopy)
+
+
+def test_pipeline_on_networkx_import():
+    # An nx graph can be fed straight into the distributed pipeline.
+    from repro.algebra import compile_formula
+    from repro.distributed import decide
+    from repro.mso import formulas
+
+    g = from_networkx(nx.balanced_tree(2, 3))  # binary tree, depth 4
+    automaton = compile_formula(formulas.acyclic(), ())
+    outcome = decide(automaton, g, d=4)
+    assert not outcome.treedepth_exceeded
+    assert outcome.accepted

@@ -1,0 +1,133 @@
+"""Treedepth kernelization: type computation, pruning, preservation."""
+
+import pytest
+
+from repro.algebra import check, compile_formula
+from repro.errors import DecompositionError
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.kernel import kernelize, subtree_signatures
+from repro.mso import evaluate, formulas
+from repro.treedepth import best_heuristic_forest, dfs_elimination_forest
+
+
+def star_forest(leaves):
+    g = gen.star(leaves)
+    from repro.treedepth import EliminationForest
+
+    forest = EliminationForest({0: None, **{i: 0 for i in range(1, leaves + 1)}})
+    return g, forest
+
+
+def test_signatures_identify_isomorphic_siblings():
+    g, forest = star_forest(5)
+    sigs = subtree_signatures(g, forest, threshold=2)
+    leaf_sigs = {sigs[i] for i in range(1, 6)}
+    assert len(leaf_sigs) == 1  # all leaves look the same
+    assert sigs[0] != sigs[1]
+
+
+def test_signatures_distinguish_labels():
+    g, forest = star_forest(3)
+    g.add_vertex_label(1, "special")
+    sigs = subtree_signatures(g, forest, threshold=2)
+    assert sigs[1] != sigs[2]
+    assert sigs[2] == sigs[3]
+
+
+def test_signatures_cap_multiplicities():
+    small_g, small_f = star_forest(3)
+    big_g, big_f = star_forest(50)
+    t = 3
+    assert (
+        subtree_signatures(small_g, small_f, t)[0]
+        == subtree_signatures(big_g, big_f, t)[0]
+    )
+
+
+def test_threshold_validation():
+    g, forest = star_forest(2)
+    with pytest.raises(DecompositionError):
+        subtree_signatures(g, forest, 0)
+
+
+def test_kernelize_star_shrinks_to_threshold():
+    g, forest = star_forest(40)
+    kernel = kernelize(g, forest, threshold=3)
+    assert kernel.graph.num_vertices() == 4  # center + 3 leaves
+    assert len(kernel.removed) == 37
+    kernel.forest.validate_for(kernel.graph)
+
+
+def test_kernel_size_independent_of_n():
+    sizes = []
+    for leaves in (10, 100, 1000):
+        g, forest = star_forest(leaves)
+        sizes.append(kernelize(g, forest, threshold=4).graph.num_vertices())
+    assert len(set(sizes)) == 1
+
+
+def test_kernel_preserves_fo_formulas_with_sufficient_threshold():
+    # degree > 2 uses 4 nested element quantifiers: t = 4 suffices.
+    formula = formulas.exists_vertex_of_degree_greater(2)
+    automaton = compile_formula(formula, ())
+    for g in [gen.star(10), gen.caterpillar(4, 5),
+              gen.random_bounded_treedepth(20, 3, seed=5)]:
+        forest = best_heuristic_forest(g)
+        kernel = kernelize(g, forest, threshold=4)
+        original = check(formula, g, forest, automaton)
+        reduced = check(formula, kernel.graph, kernel.forest, automaton)
+        assert original == reduced, g
+
+
+def test_kernel_too_small_threshold_changes_verdicts():
+    # With threshold 2, star(5) collapses to star(2): "degree > 2" flips.
+    g, forest = star_forest(5)
+    formula = formulas.exists_vertex_of_degree_greater(2)
+    kernel = kernelize(g, forest, threshold=2)
+    assert evaluate(g, formula)
+    assert not evaluate(kernel.graph, formula)
+
+
+def test_kernel_preserves_catalog_on_random_graphs():
+    cases = [
+        (formulas.acyclic(), 2),
+        (formulas.h_free(gen.triangle()), 3),
+        (formulas.k_colorable(2), 3),
+    ]
+    for formula, t in cases:
+        automaton = compile_formula(formula, ())
+        for seed in range(4):
+            g = gen.random_bounded_treedepth(18, 3, seed=seed, edge_prob=0.4)
+            forest = dfs_elimination_forest(g)
+            kernel = kernelize(g, forest, threshold=t)
+            assert check(formula, g, forest, automaton) == check(
+                formula, kernel.graph, kernel.forest, automaton
+            ), (formula, seed)
+
+
+def test_kernel_preservation_property_based():
+    from hypothesis import given, settings, strategies as st
+
+    formula = formulas.acyclic()
+    automaton = compile_formula(formula, ())
+
+    @given(st.integers(0, 10 ** 6), st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def run(seed, threshold):
+        g = gen.random_bounded_treedepth(16, 3, seed=seed, edge_prob=0.4)
+        forest = dfs_elimination_forest(g)
+        kernel = kernelize(g, forest, threshold)
+        assert check(formula, g, forest, automaton) == check(
+            formula, kernel.graph, kernel.forest, automaton
+        )
+
+    run()
+
+
+def test_kernel_of_already_small_graph_is_identity():
+    g = gen.path(4)
+    forest = dfs_elimination_forest(g)
+    kernel = kernelize(g, forest, threshold=3)
+    assert kernel.graph == g
+    assert kernel.removed == ()

@@ -1,0 +1,159 @@
+"""Tests for the MSO text parser."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.graph import generators as gen
+from repro.mso import Sort, Var, evaluate, parse, vertex_set
+from repro.mso import formulas
+
+
+def test_parse_simple_quantified():
+    f = parse("forall x:V . exists y:V . adj(x, y)")
+    assert evaluate(gen.path(3), f)
+    assert not evaluate(gen.path(3), parse("forall x:V . forall y:V . adj(x, y)"))
+
+
+def test_parse_multi_decl():
+    f = parse("exists x:V, y:V, z:V . (adj(x,y) & adj(y,z) & adj(z,x))")
+    assert evaluate(gen.clique(3), f)
+    assert not evaluate(gen.path(3), f)
+
+
+def test_parse_set_quantifier_and_atoms():
+    f = parse("exists X:VS . (nonempty(X) & !adj(X, X))")
+    assert evaluate(gen.path(2), f)  # any single vertex
+
+
+def test_parse_free_variables():
+    f = parse("x in S | adj(x, S)", free={"x": Sort.VERTEX, "S": Sort.VERTEX_SET})
+    g = gen.star(3)
+    S = Var("S", Sort.VERTEX_SET)
+    x = Var("x", Sort.VERTEX)
+    assert evaluate(g, f, {x: 1, S: frozenset({0})})
+    assert not evaluate(g, f, {x: 1, S: frozenset({2})})
+
+
+def test_parse_precedence():
+    # '&' binds tighter than '|' which binds tighter than '->'.
+    f = parse("false & true | true")
+    assert evaluate(gen.path(2), f)
+    g = parse("false -> false | false")
+    assert evaluate(gen.path(2), g)
+    h = parse("true -> false")
+    assert not evaluate(gen.path(2), h)
+
+
+def test_parse_implication_right_assoc():
+    f = parse("true -> false -> false")  # true -> (false -> false) = true
+    assert evaluate(gen.path(2), f)
+
+
+def test_parse_iff():
+    assert evaluate(gen.path(2), parse("true <-> true"))
+    assert not evaluate(gen.path(2), parse("true <-> false"))
+
+
+def test_parse_degrees():
+    f = parse("exists M:ES . degrees(M, {1})")
+    assert evaluate(gen.path(4), f)  # perfect matching exists
+    assert not evaluate(gen.path(3), f)
+    g = parse(
+        "degrees(M, {2}, W)",
+        free={"M": Sort.EDGE_SET, "W": Sort.VERTEX_SET},
+    )
+    graph = gen.path(4)
+    M = Var("M", Sort.EDGE_SET)
+    W = Var("W", Sort.VERTEX_SET)
+    assert evaluate(graph, g, {M: frozenset(graph.edges()), W: frozenset({1, 2})})
+
+
+def test_parse_label_atoms():
+    g = gen.path(2)
+    g.add_vertex_label(0, "red")
+    f = parse("exists x:V . label(red, x)")
+    assert evaluate(g, f)
+    f2 = parse("forall x:V . label(red, x)")
+    assert not evaluate(g, f2)
+    f3 = parse("exists X:VS . (nonempty(X) & alllabel(red, X))")
+    assert evaluate(g, f3)
+
+
+def test_parse_crosses_touches_endpoints_subset():
+    f = parse(
+        "exists T:ES, A:VS, B:VS . (crosses(T, A, B) & touches(T, A)"
+        " & endpoints(T, A) & subset(A, B))"
+    )
+    # Satisfiable on any graph with one edge: T={e}, A={u,v}, B=A... crosses
+    # needs one endpoint in A and one in B with A subset of B: pick A=B={u,v}.
+    assert evaluate(gen.path(2), f)
+
+
+def test_parse_eq_and_in():
+    f = parse("exists x:V, y:V . x = y")
+    assert evaluate(gen.path(2), f)
+    f2 = parse("exists x:V, S:VS . x in S")
+    assert evaluate(gen.path(2), f2)
+
+
+def test_parse_errors():
+    with pytest.raises(FormulaError):
+        parse("exists x:V")  # missing body
+    with pytest.raises(FormulaError):
+        parse("adj(x, y)")  # unknown variables
+    with pytest.raises(FormulaError):
+        parse("exists x:W . true")  # unknown sort
+    with pytest.raises(FormulaError):
+        parse("exists x:V . adj(x, x) extra")  # trailing tokens
+    with pytest.raises(FormulaError):
+        parse("exists X:VS . subset(X)")  # subset needs a superset
+    with pytest.raises(FormulaError):
+        parse("exists x:V . x")  # dangling term
+    with pytest.raises(FormulaError):
+        parse("exists E:ES . degrees(E, {9})")  # invalid count class
+    with pytest.raises(FormulaError):
+        parse("@@@")
+
+
+def test_parse_extended_atoms():
+    # intersects / covers / edgecovers / parity / clique / degrees cap.
+    g = gen.clique(3)
+    f = parse("exists A:VS, B:VS . (covers(A, B) & !intersects(A, B))")
+    assert evaluate(g, f)  # any partition works
+    f2 = parse("exists M:ES . (edgecovers(M) & degrees(M, {0, 1}))")
+    assert not evaluate(g, f2)  # K3 is not 1-edge-colorable
+    assert evaluate(gen.path(2), f2)
+    f3 = parse("exists S:ES . (nonempty(S) & parity(S, even))")
+    assert evaluate(gen.cycle(3), f3)
+    assert not evaluate(gen.path(3), f3)
+    f4 = parse("exists Q:VS . (clique(Q) & nonempty(Q))")
+    assert evaluate(gen.path(2), f4)
+    f5 = parse("exists S:ES . (nonempty(S) & degrees(S, {0, 3}, cap=4))")
+    assert evaluate(gen.clique(4), f5)
+    assert not evaluate(gen.cycle(4), f5)
+
+
+def test_parse_parity_with_within():
+    f = parse(
+        "parity(M, odd, W)",
+        free={"M": Sort.EDGE_SET, "W": Sort.VERTEX_SET},
+    )
+    g = gen.path(3)
+    M = Var("M", Sort.EDGE_SET)
+    W = Var("W", Sort.VERTEX_SET)
+    assert evaluate(g, f, {M: frozenset({(0, 1)}), W: frozenset({0, 1})})
+    assert not evaluate(g, f, {M: frozenset({(0, 1)}), W: frozenset({2})})
+
+
+def test_parse_parity_errors():
+    with pytest.raises(FormulaError):
+        parse("exists S:ES . parity(S, sideways)")
+    with pytest.raises(FormulaError):
+        parse("exists S:ES . degrees(S, {1}, cap=x)")
+
+
+def test_parse_matches_catalog_semantics():
+    # The parsed triangle-freeness agrees with the programmatic catalog.
+    parsed = parse("!(exists x:V, y:V, z:V . (adj(x,y) & adj(y,z) & adj(z,x)))")
+    for g in [gen.clique(4), gen.cycle(4), gen.star(3)]:
+        assert evaluate(g, parsed) == evaluate(g, formulas.triangle_free())

@@ -1,0 +1,417 @@
+"""Brute-force semantics vs the direct graph oracles.
+
+These tests pin down the meaning of every atom and of the formula catalog:
+if these pass, the semantics module is trustworthy ground truth for the
+Courcelle engine and the distributed layer.
+"""
+
+import pytest
+
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph import properties as props
+from repro.mso import (
+    Adj,
+    EdgeCross,
+    EndpointsIn,
+    Eq,
+    HasLabel,
+    In,
+    Inc,
+    IncCounts,
+    NonEmpty,
+    Not,
+    Subset,
+    Truth,
+    count_satisfying_assignments,
+    edge_set,
+    evaluate,
+    exists,
+    formulas,
+    optimize,
+    vertex,
+    vertex_set,
+)
+
+
+def small_graphs():
+    return [
+        Graph([0]),
+        gen.path(2),
+        gen.path(4),
+        gen.cycle(3),
+        gen.cycle(4),
+        gen.star(3),
+        gen.clique(4),
+        gen.paw(),
+        gen.random_connected_graph(5, 3, seed=1),
+        gen.random_connected_graph(6, 2, seed=2),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Atom semantics
+# ----------------------------------------------------------------------
+
+def test_truth():
+    g = gen.path(2)
+    assert evaluate(g, Truth(True))
+    assert not evaluate(g, Truth(False))
+
+
+def test_adj_elements():
+    g = gen.path(3)
+    x, y = vertex("x"), vertex("y")
+    assert evaluate(g, Adj(x, y), {x: 0, y: 1})
+    assert not evaluate(g, Adj(x, y), {x: 0, y: 2})
+    assert not evaluate(g, Adj(x, y), {x: 0, y: 0})
+
+
+def test_adj_sets_means_crossing_edge():
+    g = gen.path(4)
+    a, b = vertex_set("A"), vertex_set("B")
+    assert evaluate(g, Adj(a, b), {a: frozenset({0}), b: frozenset({1, 3})})
+    assert not evaluate(g, Adj(a, b), {a: frozenset({0}), b: frozenset({2, 3})})
+    # Both endpoints inside the same set.
+    assert evaluate(g, Adj(a, a), {a: frozenset({0, 1})})
+    assert not evaluate(g, Adj(a, a), {a: frozenset({0, 2})})
+
+
+def test_inc():
+    g = gen.path(3)
+    x = vertex("x")
+    e = edge_set("E")
+    assert evaluate(g, Inc(x, e), {x: 1, e: frozenset({(0, 1)})})
+    assert not evaluate(g, Inc(x, e), {x: 2, e: frozenset({(0, 1)})})
+
+
+def test_eq_and_in():
+    g = gen.path(3)
+    x, y = vertex("x"), vertex("y")
+    s = vertex_set("S")
+    assert evaluate(g, Eq(x, y), {x: 1, y: 1})
+    assert not evaluate(g, Eq(x, y), {x: 1, y: 2})
+    assert evaluate(g, In(x, s), {x: 1, s: frozenset({1, 2})})
+    assert not evaluate(g, In(x, s), {x: 0, s: frozenset({1, 2})})
+
+
+def test_subset_union():
+    g = gen.path(4)
+    a, b, c = vertex_set("A"), vertex_set("B"), vertex_set("C")
+    env = {a: frozenset({0, 1}), b: frozenset({0}), c: frozenset({1, 2})}
+    assert evaluate(g, Subset(a, (b, c)), env)
+    assert not evaluate(g, Subset(a, (b,)), env)
+
+
+def test_nonempty():
+    g = gen.path(2)
+    s = vertex_set("S")
+    assert evaluate(g, NonEmpty(s), {s: frozenset({0})})
+    assert not evaluate(g, NonEmpty(s), {s: frozenset()})
+
+
+def test_labels():
+    g = gen.path(3)
+    g.add_vertex_label(1, "red")
+    x = vertex("x")
+    assert evaluate(g, HasLabel(x, "red"), {x: 1})
+    assert not evaluate(g, HasLabel(x, "red"), {x: 0})
+    s = vertex_set("S")
+    from repro.mso import AllHaveLabel
+
+    assert evaluate(g, AllHaveLabel(s, "red"), {s: frozenset({1})})
+    assert not evaluate(g, AllHaveLabel(s, "red"), {s: frozenset({0, 1})})
+    assert evaluate(g, AllHaveLabel(s, "red"), {s: frozenset()})
+
+
+def test_edge_labels():
+    g = gen.path(3)
+    g.add_edge_label(0, 1, "marked")
+    e = edge_set("E")
+    from repro.mso import AllHaveLabel
+
+    assert evaluate(g, AllHaveLabel(e, "marked"), {e: frozenset({(0, 1)})})
+    assert not evaluate(g, AllHaveLabel(e, "marked"), {e: frozenset({(1, 2)})})
+
+
+def test_edge_cross():
+    g = gen.cycle(4)
+    e = edge_set("E")
+    a, b = vertex_set("A"), vertex_set("B")
+    env = {e: frozenset({(0, 1)}), a: frozenset({0}), b: frozenset({1})}
+    assert evaluate(g, EdgeCross(e, a, b), env)
+    env2 = {e: frozenset({(2, 3)}), a: frozenset({0}), b: frozenset({1})}
+    assert not evaluate(g, EdgeCross(e, a, b), env2)
+    # Touch form (y=None).
+    assert evaluate(g, EdgeCross(e, a, None), {e: frozenset({(0, 1)}), a: frozenset({0})})
+    assert not evaluate(g, EdgeCross(e, a, None), {e: frozenset({(2, 3)}), a: frozenset({0})})
+
+
+def test_inc_counts():
+    g = gen.path(4)
+    e = edge_set("E")
+    matching = frozenset({(0, 1), (2, 3)})
+    path_edges = frozenset(g.edges())
+    assert evaluate(g, IncCounts(e, frozenset({0, 1})), {e: matching})
+    assert not evaluate(g, IncCounts(e, frozenset({0, 1})), {e: path_edges})
+    assert evaluate(g, IncCounts(e, frozenset({1})), {e: matching})
+    within = vertex_set("W")
+    assert evaluate(
+        g,
+        IncCounts(e, frozenset({2}), within),
+        {e: path_edges, within: frozenset({1, 2})},
+    )
+
+
+def test_endpoints_in():
+    g = gen.cycle(4)
+    e = edge_set("E")
+    x = vertex_set("X")
+    assert evaluate(
+        g, EndpointsIn(e, x), {e: frozenset({(0, 1)}), x: frozenset({0, 1, 2})}
+    )
+    assert not evaluate(
+        g, EndpointsIn(e, x), {e: frozenset({(0, 1)}), x: frozenset({0})}
+    )
+
+
+def test_quantifiers():
+    g = gen.star(3)
+    x, y = vertex("x"), vertex("y")
+    # Some vertex is adjacent to everything else: the center.
+    from repro.mso import Or, forall, implies
+
+    f = exists(x, forall(y, Or((Eq(x, y), Adj(x, y)))))
+    assert evaluate(g, f)
+    assert not evaluate(gen.path(4), f)
+
+
+# ----------------------------------------------------------------------
+# Catalog formulas vs direct oracles
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("g_index", range(10))
+def test_triangle_free_matches_oracle(g_index):
+    g = small_graphs()[g_index]
+    expected = not props.has_subgraph(g, gen.triangle())
+    assert evaluate(g, formulas.triangle_free()) == expected
+
+
+@pytest.mark.parametrize("g_index", range(10))
+def test_acyclic_matches_oracle(g_index):
+    g = small_graphs()[g_index]
+    assert evaluate(g, formulas.acyclic()) == props.is_acyclic(g)
+
+
+def test_acyclic_textbook_agrees_on_tiny_graphs():
+    for g in [gen.path(3), gen.cycle(3), gen.star(3), gen.cycle(4)]:
+        assert evaluate(g, formulas.acyclic_textbook()) == props.is_acyclic(g)
+
+
+@pytest.mark.parametrize("g_index", range(10))
+def test_connected_matches_oracle(g_index):
+    g = small_graphs()[g_index]
+    assert evaluate(g, formulas.connected()) == g.is_connected()
+
+
+def test_connected_on_disconnected_graph():
+    from repro.graph import disjoint_union
+
+    g = disjoint_union(gen.path(2), gen.path(2))
+    assert not evaluate(g, formulas.connected())
+    assert evaluate(Graph([0]), formulas.connected())
+
+
+@pytest.mark.parametrize(
+    "g,k",
+    [
+        (gen.path(4), 2),
+        (gen.cycle(5), 2),
+        (gen.cycle(5), 3),
+        (gen.clique(4), 3),
+        (gen.clique(4), 4),
+    ],
+)
+def test_k_colorable_matches_oracle(g, k):
+    assert evaluate(g, formulas.k_colorable(k)) == props.is_k_colorable(g, k)
+
+
+def test_h_free_matches_oracle():
+    patterns = [gen.triangle(), gen.path(3), gen.cycle(4), gen.claw()]
+    for g in [gen.cycle(4), gen.clique(4), gen.star(3), gen.path(5)]:
+        for h in patterns:
+            expected = not props.has_subgraph(g, h)
+            assert evaluate(g, formulas.h_free(h)) == expected, (g, h)
+
+
+def test_h_free_induced():
+    # K4 contains P3 as a subgraph but not induced.
+    assert not evaluate(gen.clique(4), formulas.h_free(gen.path(3)))
+    assert evaluate(gen.clique(4), formulas.h_free(gen.path(3), induced=True))
+
+
+def test_degree_predicate():
+    f = formulas.exists_vertex_of_degree_greater(2)
+    assert evaluate(gen.star(3), f)
+    assert not evaluate(gen.path(5), f)
+    assert evaluate(gen.path_with_claw(4), f)
+
+
+def test_properly_2_labeled():
+    g = gen.path(3)
+    for v, lab in [(0, "red"), (1, "blue"), (2, "red")]:
+        g.add_vertex_label(v, lab)
+    assert evaluate(g, formulas.properly_2_labeled())
+    bad = gen.path(3)
+    for v, lab in [(0, "red"), (1, "red"), (2, "blue")]:
+        bad.add_vertex_label(v, lab)
+    assert not evaluate(bad, formulas.properly_2_labeled())
+    unlabeled = gen.path(3)
+    assert not evaluate(unlabeled, formulas.properly_2_labeled())
+
+
+def test_hamiltonian_cycle_matches_oracle():
+    for g in [gen.cycle(4), gen.cycle(5), gen.clique(4), gen.path(4), gen.star(3),
+              Graph([0]), gen.path(2)]:
+        assert (
+            evaluate(g, formulas.hamiltonian_cycle_exists())
+            == props.has_hamiltonian_cycle(g)
+        ), g
+
+
+def test_perfect_matching_matches_oracle():
+    for g, expected in [
+        (gen.path(4), True),
+        (gen.path(3), False),
+        (gen.cycle(4), True),
+        (gen.cycle(5), False),
+        (gen.star(3), False),
+    ]:
+        assert evaluate(g, formulas.has_perfect_matching()) == expected
+
+
+def test_independent_set_predicate():
+    g = gen.cycle(5)
+    s = vertex_set("S")
+    f = formulas.independent_set(s)
+    assert evaluate(g, f, {s: frozenset({0, 2})})
+    assert not evaluate(g, f, {s: frozenset({0, 1})})
+
+
+def test_vertex_cover_predicate():
+    g = gen.path(4)
+    s = vertex_set("S")
+    f = formulas.vertex_cover(s)
+    assert evaluate(g, f, {s: frozenset({1, 2})})
+    assert not evaluate(g, f, {s: frozenset({1})})
+
+
+def test_dominating_set_predicate():
+    g = gen.star(4)
+    s = vertex_set("S")
+    f = formulas.dominating_set(s)
+    assert evaluate(g, f, {s: frozenset({0})})
+    assert not evaluate(g, f, {s: frozenset({1})})
+
+
+def test_feedback_vertex_set_predicate():
+    g = gen.cycle(4)
+    s = vertex_set("S")
+    f = formulas.feedback_vertex_set(s)
+    assert evaluate(g, f, {s: frozenset({0})})
+    assert not evaluate(g, f, {s: frozenset()})
+    assert evaluate(gen.path(4), f, {s: frozenset()})
+
+
+def test_clique_set_predicate():
+    g = gen.clique(4)
+    s = vertex_set("S")
+    f = formulas.clique_set(s)
+    assert evaluate(g, f, {s: frozenset({0, 1, 2})})
+    assert not evaluate(gen.path(3), f, {s: frozenset({0, 2})})
+
+
+def test_matching_predicates():
+    g = gen.path(4)
+    m = edge_set("M")
+    assert evaluate(g, formulas.matching(m), {m: frozenset({(0, 1), (2, 3)})})
+    assert not evaluate(g, formulas.matching(m), {m: frozenset({(0, 1), (1, 2)})})
+    assert evaluate(g, formulas.perfect_matching(m), {m: frozenset({(0, 1), (2, 3)})})
+    assert not evaluate(g, formulas.perfect_matching(m), {m: frozenset({(0, 1)})})
+
+
+def test_spanning_tree_predicate():
+    g = gen.cycle(4)
+    t = edge_set("T")
+    f = formulas.spanning_tree(t)
+    assert evaluate(g, f, {t: frozenset({(0, 1), (1, 2), (2, 3)})})
+    assert not evaluate(g, f, {t: frozenset(g.edges())})  # has a cycle
+    assert not evaluate(g, f, {t: frozenset({(0, 1)})})  # not spanning
+
+
+def test_induced_forest_predicate():
+    g = gen.cycle(4)
+    s = vertex_set("S")
+    f = formulas.induced_forest(s)
+    assert evaluate(g, f, {s: frozenset({0, 1, 2})})
+    assert not evaluate(g, f, {s: frozenset({0, 1, 2, 3})})
+
+
+def test_dominated_reds_by_blues():
+    g = gen.star(3)
+    g.add_vertex_label(0, "blue")
+    for leaf in (1, 2, 3):
+        g.add_vertex_label(leaf, "red")
+    s = vertex_set("S")
+    f = formulas.dominated_reds_by_blues(s)
+    assert evaluate(g, f, {s: frozenset({0})})
+    assert not evaluate(g, f, {s: frozenset({1})})  # red vertex in S
+    assert not evaluate(g, f, {s: frozenset()})  # reds undominated
+
+
+# ----------------------------------------------------------------------
+# Counting and optimization ground truths
+# ----------------------------------------------------------------------
+
+def test_count_triangles_via_assignments():
+    formula, variables = formulas.triangle_assignment()
+    for g in [gen.clique(4), gen.cycle(5), gen.paw()]:
+        ordered = count_satisfying_assignments(g, formula, variables)
+        assert ordered == 6 * props.count_triangles(g)
+
+
+def test_optimize_max_independent_set():
+    g = gen.cycle(5)
+    s = vertex_set("S")
+    result = optimize(g, formulas.independent_set(s), s, maximize=True)
+    assert result is not None
+    value, chosen = result
+    assert value == 2
+    assert props.is_independent_set(g, chosen)
+
+
+def test_optimize_min_vertex_cover():
+    g = gen.path(4)
+    s = vertex_set("S")
+    result = optimize(g, formulas.vertex_cover(s), s, maximize=False)
+    assert result is not None and result[0] == 2
+
+
+def test_optimize_weighted():
+    g = gen.path(3)
+    s = vertex_set("S")
+    weights = {0: 1, 1: 10, 2: 1}
+    result = optimize(
+        g, formulas.independent_set(s), s, maximize=True, weight=weights
+    )
+    assert result is not None
+    assert result[0] == 10 and result[1] == frozenset({1})
+
+
+def test_optimize_infeasible_returns_none():
+    g = gen.path(2)
+    s = vertex_set("S")
+    from repro.mso import and_
+
+    impossible = and_(formulas.independent_set(s), Truth(False))
+    assert optimize(g, impossible, s) is None

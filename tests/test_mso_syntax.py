@@ -1,0 +1,173 @@
+"""Tests for the MSO AST: construction, validation, static analysis."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.mso import (
+    Adj,
+    And,
+    Eq,
+    Exists,
+    Forall,
+    In,
+    Inc,
+    IncCounts,
+    NonEmpty,
+    Not,
+    Or,
+    Sort,
+    Subset,
+    Truth,
+    Var,
+    and_,
+    distinct,
+    edge,
+    edge_set,
+    exists,
+    forall,
+    free_variables,
+    iff,
+    implies,
+    or_,
+    quantifier_depth,
+    validate,
+    vertex,
+    vertex_set,
+)
+
+
+def test_sort_helpers():
+    assert Sort.VERTEX_SET.is_set and not Sort.VERTEX.is_set
+    assert Sort.VERTEX.is_vertex_kind and Sort.VERTEX_SET.is_vertex_kind
+    assert not Sort.EDGE.is_vertex_kind
+    assert Sort.VERTEX_SET.element_sort == Sort.VERTEX
+    assert Sort.EDGE_SET.element_sort == Sort.EDGE
+    assert Sort.VERTEX.element_sort == Sort.VERTEX
+
+
+def test_constructors():
+    x = vertex("x")
+    assert x.sort == Sort.VERTEX
+    assert edge("e").sort == Sort.EDGE
+    assert vertex_set("X").sort == Sort.VERTEX_SET
+    assert edge_set("E").sort == Sort.EDGE_SET
+
+
+def test_and_or_flattening():
+    x, y = vertex("x"), vertex("y")
+    a, b, c = Adj(x, y), Eq(x, y), Truth(True)
+    f = and_(a, and_(b, c))
+    assert isinstance(f, And) and len(f.parts) == 3
+    g = or_(a, or_(b, c))
+    assert isinstance(g, Or) and len(g.parts) == 3
+    assert and_() == Truth(True)
+    assert or_() == Truth(False)
+    assert and_(a) is a
+
+
+def test_operator_overloads():
+    x, y = vertex("x"), vertex("y")
+    f = Adj(x, y) & Eq(x, y)
+    assert isinstance(f, And)
+    g = Adj(x, y) | Eq(x, y)
+    assert isinstance(g, Or)
+    assert isinstance(~Adj(x, y), Not)
+
+
+def test_exists_forall_multi():
+    x, y = vertex("x"), vertex("y")
+    f = exists([x, y], Adj(x, y))
+    assert isinstance(f, Exists) and isinstance(f.body, Exists)
+    g = forall([x, y], Adj(x, y))
+    assert isinstance(g, Forall) and isinstance(g.body, Forall)
+
+
+def test_distinct():
+    xs = [vertex(f"x{i}") for i in range(3)]
+    f = distinct(*xs)
+    assert isinstance(f, And) and len(f.parts) == 3  # C(3,2) inequalities
+
+
+def test_free_variables():
+    x, y = vertex("x"), vertex("y")
+    s = vertex_set("S")
+    assert free_variables(Adj(x, y)) == {x, y}
+    assert free_variables(Exists(x, Adj(x, y))) == {y}
+    assert free_variables(exists([x, y], In(x, s))) == {s}
+    assert free_variables(Truth(True)) == frozenset()
+    assert free_variables(Subset(s, (vertex_set("T"),))) == {s, vertex_set("T")}
+    assert free_variables(IncCounts(edge_set("E"), frozenset({1}), s)) == {
+        edge_set("E"),
+        s,
+    }
+
+
+def test_quantifier_depth():
+    x, y = vertex("x"), vertex("y")
+    assert quantifier_depth(Adj(x, y)) == 0
+    assert quantifier_depth(exists([x, y], Adj(x, y))) == 2
+    assert quantifier_depth(Not(Exists(x, Forall(y, Adj(x, y))))) == 2
+    assert quantifier_depth(and_(Exists(x, Truth()), Truth())) == 1
+
+
+def test_validate_accepts_wellformed():
+    x, y = vertex("x"), vertex("y")
+    s = vertex_set("S")
+    validate(exists([x, y], and_(Adj(x, y), In(x, s))), allowed_free=[s])
+    validate(forall(x, implies(In(x, s), NonEmpty(s))), allowed_free=[s])
+
+
+def test_validate_rejects_unbound():
+    x, y = vertex("x"), vertex("y")
+    with pytest.raises(FormulaError):
+        validate(Adj(x, y))
+
+
+def test_validate_rejects_sort_mismatch():
+    e = edge("e")
+    x = vertex("x")
+    s = vertex_set("S")
+    with pytest.raises(FormulaError):
+        validate(Exists(e, Adj(e, e)))  # adj on edges
+    with pytest.raises(FormulaError):
+        validate(exists([x, e], Eq(x, e)))  # mixed-sort equality
+    with pytest.raises(FormulaError):
+        validate(Exists(s, Eq(s, s)))  # set equality via =
+    with pytest.raises(FormulaError):
+        validate(exists([x, s], Inc(s, x)))  # inc needs an edge side
+    with pytest.raises(FormulaError):
+        validate(Exists(x, In(x, x)))  # membership into non-set
+
+
+def test_validate_rejects_rebinding():
+    x = vertex("x")
+    with pytest.raises(FormulaError):
+        validate(Exists(x, Exists(x, Truth())))
+
+
+def test_validate_rejects_sort_conflict_across_uses():
+    x_as_vertex = vertex("x")
+    x_as_edge = edge("x")
+    with pytest.raises(FormulaError):
+        validate(Exists(x_as_vertex, Inc(vertex("y"), x_as_edge)))
+
+
+def test_validate_inccounts_allowed_classes():
+    e = edge_set("E")
+    with pytest.raises(FormulaError):
+        validate(Exists(e, IncCounts(e, frozenset({7}))))
+    with pytest.raises(FormulaError):
+        validate(Exists(e, IncCounts(e, frozenset())))
+
+
+def test_iff_expansion():
+    a, b = Truth(True), Truth(False)
+    f = iff(a, b)
+    validate(f)
+
+
+def test_str_rendering_smoke():
+    x, y = vertex("x"), vertex("y")
+    s = vertex_set("S")
+    text = str(exists([x], forall(y, and_(Adj(x, y), Not(In(y, s))))))
+    assert "∃" in text and "∀" in text and "adj" in text

@@ -1,0 +1,99 @@
+"""Graph operations + cross-validation identities."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph import properties as props
+from repro.graph.operations import (
+    cartesian_product,
+    complement,
+    contract_edge,
+    has_minor,
+    line_graph,
+    subdivision,
+)
+
+
+def test_complement_basic():
+    g = complement(gen.path(3))
+    assert g.edges() == [(0, 2)]
+    k = complement(gen.clique(4))
+    assert k.num_edges() == 0
+    assert complement(complement(gen.cycle(5))) == gen.cycle(5)
+
+
+def test_line_graph_shapes():
+    # L(P4) = P3; L(C5) = C5; L(K_{1,3}) = K3.
+    lp = line_graph(gen.path(4))
+    assert lp.num_vertices() == 3 and lp.num_edges() == 2
+    lc = line_graph(gen.cycle(5))
+    assert lc.num_vertices() == 5 and lc.num_edges() == 5
+    assert all(lc.degree(v) == 2 for v in lc)
+    lstar = line_graph(gen.star(3))
+    assert lstar.num_edges() == 3  # triangle
+
+
+def test_chromatic_index_equals_line_graph_chromatic_number():
+    # The classic identity χ'(G) = χ(L(G)) — ties the edge-coloring
+    # machinery to the vertex-coloring oracle.
+    for g in [gen.path(4), gen.cycle(5), gen.star(3), gen.paw(), gen.clique(4)]:
+        lg = line_graph(g)
+        chi_line = props.chromatic_number(lg)
+        assert props.chromatic_index_at_most(g, chi_line)
+        assert not props.chromatic_index_at_most(g, chi_line - 1)
+
+
+def test_edge_k_colorable_formula_agrees_with_line_graph():
+    from repro.algebra import check, compile_formula
+    from repro.mso import formulas
+    from repro.treedepth import optimal_elimination_forest
+
+    for g in [gen.path(4), gen.star(3), gen.cycle(4)]:
+        lg = line_graph(g)
+        for k in (1, 2, 3):
+            formula = formulas.edge_k_colorable(k)
+            got = check(formula, g, optimal_elimination_forest(g))
+            assert got == props.is_k_colorable(lg, k), (g, k)
+
+
+def test_subdivision():
+    g = subdivision(gen.cycle(3))
+    assert g.num_vertices() == 6
+    assert g.num_edges() == 6
+    assert props.is_k_colorable(g, 2)  # subdivisions are bipartite
+
+
+def test_cartesian_product_is_grid():
+    g = cartesian_product(gen.path(3), gen.path(4))
+    grid = gen.grid(3, 4)
+    assert g.num_vertices() == grid.num_vertices()
+    assert g.num_edges() == grid.num_edges()
+    assert g.is_connected()
+
+
+def test_contract_edge():
+    g = contract_edge(gen.path(3), 0, 1)
+    assert sorted(g.vertices()) == [0, 2]
+    assert g.has_edge(0, 2)
+    with pytest.raises(GraphError):
+        contract_edge(gen.path(3), 0, 2)
+
+
+def test_contract_merges_parallel_edges():
+    g = gen.cycle(3)
+    contracted = contract_edge(g, 0, 1)
+    assert contracted.num_vertices() == 2
+    assert contracted.num_edges() == 1
+
+
+def test_has_minor():
+    # C4 has K3 as a minor (contract one edge) but not as a subgraph.
+    assert not props.has_subgraph(gen.cycle(4), gen.triangle())
+    assert has_minor(gen.cycle(4), gen.triangle())
+    # Trees have no cycle minors.
+    assert not has_minor(gen.path(5), gen.triangle())
+    # K4 is a minor of itself.
+    assert has_minor(gen.clique(4), gen.clique(4))
+    # Too-big patterns are rejected fast.
+    assert not has_minor(gen.path(3), gen.clique(4))

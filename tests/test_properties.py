@@ -1,0 +1,167 @@
+"""Unit tests for the ground-truth oracles in repro.graph.properties."""
+
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph import properties as props
+
+
+def test_independent_set():
+    g = gen.cycle(5)
+    assert props.is_independent_set(g, [0, 2])
+    assert not props.is_independent_set(g, [0, 1])
+    assert props.is_independent_set(g, [])
+
+
+def test_clique_check():
+    g = gen.clique(4)
+    assert props.is_clique(g, [0, 1, 2])
+    assert not props.is_clique(gen.path(3), [0, 1, 2])
+
+
+def test_vertex_cover():
+    g = gen.path(4)
+    assert props.is_vertex_cover(g, [1, 2])
+    assert not props.is_vertex_cover(g, [1])
+
+
+def test_dominating_set():
+    g = gen.star(5)
+    assert props.is_dominating_set(g, [0])
+    assert not props.is_dominating_set(g, [1])
+    assert props.is_dominating_set(g, range(6))
+
+
+def test_feedback_vertex_set():
+    g = gen.cycle(4)
+    assert props.is_feedback_vertex_set(g, [0])
+    assert not props.is_feedback_vertex_set(g, [])
+
+
+def test_matching_predicates():
+    g = gen.cycle(4)
+    assert props.is_matching(g, [(0, 1), (2, 3)])
+    assert not props.is_matching(g, [(0, 1), (1, 2)])
+    assert props.is_perfect_matching(g, [(0, 1), (2, 3)])
+    assert not props.is_perfect_matching(g, [(0, 1)])
+
+
+def test_spanning_tree_predicate():
+    g = gen.cycle(4)
+    assert props.is_spanning_tree(g, [(0, 1), (1, 2), (2, 3)])
+    assert not props.is_spanning_tree(g, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    assert not props.is_spanning_tree(g, [(0, 1), (2, 3)])
+
+
+def test_acyclic():
+    assert props.is_acyclic(gen.path(5))
+    assert props.is_acyclic(Graph(range(3)))
+    assert not props.is_acyclic(gen.cycle(3))
+
+
+def test_regular_and_max_degree():
+    assert props.is_regular(gen.cycle(5))
+    assert not props.is_regular(gen.path(3))
+    assert props.max_degree(gen.star(4)) == 4
+    assert props.max_degree(Graph()) == 0
+
+
+def test_colorability():
+    assert props.is_k_colorable(gen.path(5), 2)
+    assert not props.is_k_colorable(gen.cycle(5), 2)
+    assert props.is_k_colorable(gen.cycle(5), 3)
+    assert not props.is_k_colorable(gen.clique(4), 3)
+    assert props.chromatic_number(gen.cycle(5)) == 3
+    assert props.chromatic_number(gen.clique(4)) == 4
+    assert props.chromatic_number(Graph()) == 0
+
+
+def test_proper_coloring_check():
+    g = gen.path(3)
+    assert props.is_proper_coloring(g, {0: 0, 1: 1, 2: 0})
+    assert not props.is_proper_coloring(g, {0: 0, 1: 0, 2: 1})
+
+
+def test_max_independent_set():
+    val, s = props.max_independent_set(gen.cycle(5))
+    assert val == 2
+    assert props.is_independent_set(gen.cycle(5), s)
+    val, _ = props.max_independent_set(gen.star(4))
+    assert val == 4
+
+
+def test_weighted_max_independent_set():
+    g = gen.path(3)
+    g.set_vertex_weight(1, 10)
+    val, s = props.max_independent_set(g, weight=g.vertex_weight)
+    assert val == 10
+    assert s == frozenset({1})
+
+
+def test_min_vertex_cover():
+    val, s = props.min_vertex_cover(gen.path(4))
+    assert val == 2
+    assert props.is_vertex_cover(gen.path(4), s)
+
+
+def test_min_dominating_set():
+    val, _ = props.min_dominating_set(gen.path(6))
+    assert val == 2
+    val, _ = props.min_dominating_set(gen.star(5))
+    assert val == 1
+
+
+def test_min_feedback_vertex_set():
+    val, _ = props.min_feedback_vertex_set(gen.cycle(5))
+    assert val == 1
+    val, _ = props.min_feedback_vertex_set(gen.path(5))
+    assert val == 0
+
+
+def test_max_matching_size():
+    assert props.max_matching_size(gen.path(4)) == 2
+    assert props.max_matching_size(gen.cycle(5)) == 2
+    assert props.max_matching_size(gen.star(4)) == 1
+
+
+def test_min_spanning_tree_weight():
+    g = gen.cycle(3)
+    g.set_edge_weight(0, 1, 5)
+    g.set_edge_weight(1, 2, 1)
+    g.set_edge_weight(0, 2, 2)
+    assert props.min_spanning_tree_weight(g) == 3
+    assert props.min_spanning_tree_weight(Graph([0, 1])) is None
+
+
+def test_has_subgraph():
+    assert props.has_subgraph(gen.clique(4), gen.triangle())
+    assert not props.has_subgraph(gen.path(5), gen.triangle())
+    assert props.has_subgraph(gen.cycle(4), gen.path(3))
+    # induced: C4 contains P3 induced, but K4 does not.
+    assert props.has_subgraph(gen.cycle(4), gen.path(3), induced=True)
+    assert not props.has_subgraph(gen.clique(4), gen.path(3), induced=True)
+
+
+def test_count_subgraph_copies():
+    assert props.count_subgraph_copies(gen.clique(4), gen.triangle()) == 4
+    assert props.count_subgraph_copies(gen.cycle(5), gen.path(3)) == 5
+    assert props.count_subgraph_copies(gen.clique(4), gen.cycle(4)) == 3
+
+
+def test_count_triangles():
+    assert props.count_triangles(gen.clique(4)) == 4
+    assert props.count_triangles(gen.clique(5)) == 10
+    assert props.count_triangles(gen.cycle(5)) == 0
+    assert props.count_triangles(gen.paw()) == 1
+
+
+def test_hamiltonian_cycle():
+    assert props.has_hamiltonian_cycle(gen.cycle(5))
+    assert props.has_hamiltonian_cycle(gen.clique(4))
+    assert not props.has_hamiltonian_cycle(gen.path(4))
+    assert not props.has_hamiltonian_cycle(gen.star(3))
+
+
+def test_hamiltonian_path():
+    assert props.has_hamiltonian_path(gen.path(5))
+    assert props.has_hamiltonian_path(gen.cycle(4))
+    assert not props.has_hamiltonian_path(gen.star(3))

@@ -1,0 +1,84 @@
+"""Property-based differential tests of the distributed layer.
+
+Random bounded-treedepth networks with random labels and weights: the
+CONGEST pipelines must agree with the sequential engine (which is itself
+property-tested against brute force).  Examples are kept small; the value
+is in the random structure, not the size.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import check, compile_formula, count as seq_count, optimize as seq_optimize
+from repro.algebra import compile_with_singletons
+from repro.distributed import count_distributed, decide, optimize_distributed
+from repro.graph import generators as gen
+from repro.mso import formulas, vertex_set
+from repro.treedepth import dfs_elimination_forest
+
+
+@st.composite
+def networks(draw):
+    n = draw(st.integers(4, 12))
+    depth = draw(st.integers(2, 3))
+    prob = draw(st.sampled_from([0.3, 0.6, 0.9]))
+    seed = draw(st.integers(0, 10 ** 6))
+    return gen.random_bounded_treedepth(n, depth, prob, seed), depth
+
+
+DECISION_FORMULAS = [
+    formulas.acyclic(),
+    formulas.h_free(gen.triangle()),
+    formulas.exists_vertex_of_degree_greater(2),
+    formulas.has_even_subgraph(),
+]
+DECISION_AUTOMATA = [compile_formula(f, ()) for f in DECISION_FORMULAS]
+
+
+@given(networks(), st.integers(0, len(DECISION_FORMULAS) - 1))
+@settings(max_examples=30, deadline=None)
+def test_distributed_decision_equals_sequential(net, idx):
+    g, depth = net
+    formula = DECISION_FORMULAS[idx]
+    automaton = DECISION_AUTOMATA[idx]
+    sequential = check(formula, g, dfs_elimination_forest(g), automaton)
+    outcome = decide(automaton, g, d=depth)
+    assert not outcome.treedepth_exceeded
+    assert outcome.accepted == sequential
+
+
+_S = vertex_set("S")
+_OPT_FORMULA = formulas.independent_set(_S)
+_OPT_AUTOMATON = compile_formula(_OPT_FORMULA, (_S,))
+
+
+@given(networks(), st.lists(st.integers(1, 9), min_size=12, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_distributed_optimization_equals_sequential(net, weights):
+    g, depth = net
+    for i, v in enumerate(g.vertices()):
+        g.set_vertex_weight(v, weights[i % len(weights)])
+    sequential = seq_optimize(
+        _OPT_FORMULA, g, dfs_elimination_forest(g), _S, maximize=True,
+        automaton=_OPT_AUTOMATON,
+    )
+    outcome = optimize_distributed(_OPT_AUTOMATON, g, d=depth, maximize=True)
+    assert outcome.feasible and sequential is not None
+    assert outcome.value == sequential.value
+    # Witnesses may differ between runs; both must achieve the optimum.
+    assert sum(g.vertex_weight(v) for v in outcome.witness) == outcome.value
+
+
+_COUNT_FORMULA, _COUNT_VARS = formulas.triangle_assignment()
+_COUNT_AUTOMATON = compile_with_singletons(_COUNT_FORMULA, _COUNT_VARS)
+
+
+@given(networks())
+@settings(max_examples=20, deadline=None)
+def test_distributed_counting_equals_sequential(net):
+    g, depth = net
+    sequential = seq_count(
+        _COUNT_FORMULA, g, dfs_elimination_forest(g), _COUNT_VARS,
+        automaton=_COUNT_AUTOMATON,
+    )
+    outcome = count_distributed(_COUNT_AUTOMATON, g, d=depth)
+    assert outcome.count == sequential

@@ -1,0 +1,94 @@
+"""Steiner tree via MSO (one of the paper's Section 1.1 applications)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.algebra import compile_formula, optimize
+from repro.distributed import optimize_distributed
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.mso import edge_set, evaluate, formulas
+from repro.treedepth import optimal_elimination_forest
+
+
+def brute_force_steiner(graph, terminals):
+    """Minimum total weight of an edge set connecting all terminals."""
+    edges = graph.edges()
+    best = None
+    for r in range(len(edges) + 1):
+        for subset in combinations(edges, r):
+            sub = Graph(graph.vertices(), subset)
+            components = sub.connected_components()
+            holder = [c for c in components if any(t in c for t in terminals)]
+            if len(holder) == 1 or not terminals:
+                weight = sum(graph.edge_weight(u, v) for u, v in subset)
+                if best is None or weight < best:
+                    best = weight
+        if best is not None:
+            # Adding more edges cannot reduce the weight below an already
+            # feasible smaller set when all weights are positive.
+            break
+    return best
+
+
+def label_terminals(graph, terminals):
+    for t in terminals:
+        graph.add_vertex_label(t, "terminal")
+
+
+def test_steiner_predicate_semantics():
+    g = gen.path(4)
+    label_terminals(g, [0, 3])
+    s = edge_set("St")
+    formula = formulas.steiner_connector(s)
+    assert evaluate(g, formula, {s: frozenset(g.edges())})
+    assert not evaluate(g, formula, {s: frozenset({(0, 1)})})
+    assert evaluate(g, formula, {s: frozenset({(0, 1), (1, 2), (2, 3)})})
+
+
+def test_steiner_no_terminals_trivially_satisfied():
+    g = gen.path(3)
+    s = edge_set("St")
+    formula = formulas.steiner_connector(s)
+    assert evaluate(g, formula, {s: frozenset()})
+
+
+def test_min_steiner_tree_matches_bruteforce():
+    g = gen.star(4)
+    for leaf in (1, 2, 3, 4):
+        g.set_edge_weight(0, leaf, leaf)
+    label_terminals(g, [1, 3])
+    s = edge_set("St")
+    formula = formulas.steiner_connector(s)
+    result = optimize(
+        formula, g, optimal_elimination_forest(g), s, maximize=False
+    )
+    assert result is not None
+    assert result.value == brute_force_steiner(g, [1, 3]) == 4
+
+
+def test_min_steiner_tree_cycle():
+    g = gen.cycle(5)
+    label_terminals(g, [0, 2])
+    s = edge_set("St")
+    formula = formulas.steiner_connector(s)
+    result = optimize(
+        formula, g, optimal_elimination_forest(g), s, maximize=False
+    )
+    assert result is not None
+    assert result.value == 2  # the short arc 0-1-2
+
+
+def test_distributed_steiner():
+    g = gen.cycle(5)
+    label_terminals(g, [0, 2])
+    s = edge_set("St")
+    automaton = compile_formula(formulas.steiner_connector(s), (s,))
+    outcome = optimize_distributed(automaton, g, d=3, maximize=False)
+    assert outcome.feasible
+    assert outcome.value == 2
+    # The witness connects the terminals.
+    sub = Graph(g.vertices(), outcome.witness)
+    comp = [c for c in sub.connected_components() if 0 in c]
+    assert 2 in comp[0]

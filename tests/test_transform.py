@@ -1,0 +1,92 @@
+"""Formula simplification and NNF."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.mso import Adj, And, Exists, Forall, Not, Or, Truth, evaluate, vertex, vertex_set
+from repro.mso.transform import formula_size, simplify, to_nnf
+
+x, y = vertex("x"), vertex("y")
+X = vertex_set("X")
+atom = Adj(x, y)
+
+
+def test_double_negation():
+    assert simplify(Not(Not(atom))) == atom
+    assert simplify(Not(Not(Not(atom)))) == Not(atom)
+
+
+def test_constant_folding():
+    assert simplify(Not(Truth(True))) == Truth(False)
+    assert simplify(And((Truth(True), atom))) == atom
+    assert simplify(And((Truth(False), atom))) == Truth(False)
+    assert simplify(Or((Truth(False), atom))) == atom
+    assert simplify(Or((Truth(True), atom))) == Truth(True)
+
+
+def test_flatten_and_dedupe():
+    f = And((atom, And((atom, Adj(y, x)))))
+    simplified = simplify(f)
+    assert isinstance(simplified, And)
+    assert len(simplified.parts) == 2
+
+
+def test_set_quantifier_constant_folding():
+    assert simplify(Exists(X, Truth(True))) == Truth(True)
+    assert simplify(Forall(X, Truth(False))) == Truth(False)
+    # Element quantifiers must NOT fold (their domain can be empty).
+    e = Exists(x, Truth(True))
+    assert simplify(e) == e
+
+
+def test_element_quantifier_fold_would_be_unsound():
+    g = Graph()  # no vertices
+    assert not evaluate(g, Exists(x, Truth(True)))
+    assert evaluate(g, Forall(x, Truth(False)))
+
+
+def test_nnf_pushes_negations():
+    f = Not(Exists(x, And((atom, Not(Adj(y, x))))))
+    nnf = to_nnf(f)
+    assert isinstance(nnf, Forall)
+    assert isinstance(nnf.body, Or)
+    # Negations only on atoms.
+    def check(node):
+        if isinstance(node, Not):
+            assert not isinstance(node.inner, (Not, And, Or, Exists, Forall))
+        for child in getattr(node, "parts", ()):
+            check(child)
+        if hasattr(node, "body"):
+            check(node.body)
+        if hasattr(node, "inner"):
+            check(node.inner)
+    check(nnf)
+
+
+def test_formula_size():
+    assert formula_size(atom) == 1
+    assert formula_size(Not(atom)) == 2
+    assert formula_size(Exists(x, And((atom, atom)))) == 4
+
+
+@st.composite
+def boolean_trees(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(st.sampled_from([Truth(True), Truth(False), atom, Adj(y, x)]))
+    kind = draw(st.sampled_from(["not", "and", "or"]))
+    if kind == "not":
+        return Not(draw(boolean_trees(depth=depth + 1)))
+    a = draw(boolean_trees(depth=depth + 1))
+    b = draw(boolean_trees(depth=depth + 1))
+    return (And if kind == "and" else Or)((a, b))
+
+
+@given(boolean_trees())
+@settings(max_examples=80, deadline=None)
+def test_simplify_and_nnf_preserve_semantics(body):
+    formula = Exists(x, Exists(y, body))
+    for g in [gen.path(3), gen.clique(3)]:
+        expected = evaluate(g, formula)
+        assert evaluate(g, Exists(x, Exists(y, simplify(body)))) == expected
+        assert evaluate(g, to_nnf(formula)) == expected

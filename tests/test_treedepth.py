@@ -1,0 +1,248 @@
+"""Tests for elimination forests, exact treedepth, heuristics, and the
+canonical tree decomposition (paper Section 2)."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.treedepth import (
+    EliminationForest,
+    TreeDecomposition,
+    canonical_tree_decomposition,
+    centroid_elimination_forest,
+    degeneracy,
+    dfs_elimination_forest,
+    forest_from_order,
+    greedy_elimination_forest,
+    optimal_elimination_forest,
+    treedepth,
+    treedepth_at_most,
+    treedepth_lower_bound,
+)
+
+
+# ----------------------------------------------------------------------
+# EliminationForest structure
+# ----------------------------------------------------------------------
+
+def chain_forest(n):
+    return EliminationForest({i: (i - 1 if i else None) for i in range(n)})
+
+
+def test_forest_basics():
+    f = EliminationForest({0: None, 1: 0, 2: 0, 3: 1})
+    assert f.roots() == [0]
+    assert f.is_tree()
+    assert f.children(0) == [1, 2]
+    assert f.parent(3) == 1
+    assert f.depth_of(0) == 1
+    assert f.depth_of(3) == 3
+    assert f.depth() == 3
+    assert f.root_path(3) == [0, 1, 3]
+    assert f.ancestors(3) == [0, 1]
+    assert f.subtree(1) == [1, 3]
+    assert f.is_ancestor(0, 3)
+    assert not f.is_ancestor(2, 3)
+    assert f.is_ancestor(3, 3)
+
+
+def test_forest_orders():
+    f = EliminationForest({0: None, 1: 0, 2: 0, 3: 1})
+    topo = f.topological_order()
+    assert topo[0] == 0
+    assert topo.index(1) < topo.index(3)
+    assert f.bottom_up_order() == list(reversed(topo))
+
+
+def test_forest_cycle_detection():
+    with pytest.raises(DecompositionError):
+        EliminationForest({0: 1, 1: 0})
+    with pytest.raises(DecompositionError):
+        EliminationForest({0: None, 1: 2})  # parent not a vertex
+
+
+def test_forest_validity_for_graph():
+    g = gen.path(3)
+    valid = EliminationForest({1: None, 0: 1, 2: 1})
+    assert valid.is_valid_for(g)
+    invalid = EliminationForest({0: None, 1: 0, 2: 0})
+    # Edge (1, 2) joins two siblings -> not ancestor related.
+    g2 = Graph(range(3), [(0, 1), (1, 2)])
+    assert not invalid.is_valid_for(g2)
+    with pytest.raises(DecompositionError):
+        invalid.validate_for(g2)
+
+
+def test_forest_vertex_set_mismatch():
+    g = gen.path(3)
+    f = EliminationForest({0: None, 1: 0})
+    assert not f.is_valid_for(g)
+
+
+def test_is_subforest_of():
+    g = gen.path(3)
+    f = EliminationForest({0: None, 1: 0, 2: 1})
+    assert f.is_subforest_of(g)
+    f2 = EliminationForest({1: None, 0: 1, 2: 0})  # edge (0,2) not in P3
+    assert not f2.is_subforest_of(g)
+
+
+def test_forest_from_order_always_valid():
+    g = gen.random_connected_graph(10, 6, seed=3)
+    for seed in range(3):
+        import random
+
+        order = g.vertices()
+        random.Random(seed).shuffle(order)
+        f = forest_from_order(g, order)
+        f.validate_for(g)
+
+
+def test_forest_from_order_bad_order():
+    with pytest.raises(DecompositionError):
+        forest_from_order(gen.path(3), [0, 1])
+
+
+# ----------------------------------------------------------------------
+# Exact treedepth (Lemma 2.2 + known values)
+# ----------------------------------------------------------------------
+
+def test_treedepth_known_values():
+    assert treedepth(Graph([0])) == 1
+    assert treedepth(gen.clique(4)) == 4
+    assert treedepth(gen.star(5)) == 2
+    assert treedepth(gen.cycle(4)) == 3
+    assert treedepth(Graph()) == 0
+
+
+def test_treedepth_of_paths_is_ceil_log():
+    # td(P_n) = ceil(log2(n + 1)), the paper's running example.
+    import math
+
+    for n in range(1, 12):
+        expected = math.ceil(math.log2(n + 1))
+        assert treedepth(gen.path(n)) == expected, n
+
+
+def test_treedepth_disconnected_is_max():
+    from repro.graph import disjoint_union
+
+    g = disjoint_union(gen.clique(3), gen.path(2))
+    assert treedepth(g) == 3
+
+
+def test_optimal_forest_is_valid_and_tight():
+    for g in [gen.path(7), gen.cycle(5), gen.clique(4), gen.caterpillar(3, 2)]:
+        f = optimal_elimination_forest(g)
+        f.validate_for(g)
+        assert f.depth() == treedepth(g)
+
+
+def test_treedepth_at_most():
+    g = gen.path(7)  # td = 3
+    assert treedepth_at_most(g, 2) is None
+    f = treedepth_at_most(g, 3)
+    assert f is not None and f.depth() <= 3
+
+
+def test_degeneracy():
+    assert degeneracy(gen.clique(4)) == 3
+    assert degeneracy(gen.path(5)) == 1
+    assert degeneracy(gen.cycle(5)) == 2
+    assert degeneracy(gen.grid(3, 3)) == 2
+
+
+def test_lower_bound_is_valid():
+    for g in [gen.path(9), gen.cycle(6), gen.clique(4), gen.grid(2, 3)]:
+        assert treedepth_lower_bound(g) <= treedepth(g)
+
+
+# ----------------------------------------------------------------------
+# Heuristics
+# ----------------------------------------------------------------------
+
+def test_dfs_forest_valid_and_lemma25_bound():
+    for seed in range(4):
+        g = gen.random_bounded_treedepth(14, 3, seed=seed)
+        f = dfs_elimination_forest(g)
+        f.validate_for(g)
+        assert f.is_subforest_of(g)
+        assert f.depth() <= 2 ** treedepth(g)  # Lemma 2.5
+
+
+def test_dfs_forest_respects_root():
+    g = gen.path(5)
+    f = dfs_elimination_forest(g, root=2)
+    assert f.parent(2) is None
+
+
+def test_dfs_forest_unknown_root():
+    with pytest.raises(DecompositionError):
+        dfs_elimination_forest(gen.path(3), root=99)
+
+
+def test_centroid_forest_on_path_is_logarithmic():
+    import math
+
+    g = gen.path(31)
+    f = centroid_elimination_forest(g)
+    f.validate_for(g)
+    assert f.depth() == math.ceil(math.log2(32))  # = 5 = treedepth(P_31)
+
+
+def test_centroid_rejects_cycles():
+    with pytest.raises(DecompositionError):
+        centroid_elimination_forest(gen.cycle(4))
+
+
+def test_greedy_forest_valid():
+    g = gen.random_connected_graph(12, 8, seed=1)
+    f = greedy_elimination_forest(g)
+    f.validate_for(g)
+
+
+# ----------------------------------------------------------------------
+# Tree decompositions (Definition 2.3, Lemma 2.4)
+# ----------------------------------------------------------------------
+
+def test_canonical_decomposition_valid_and_width():
+    for g in [gen.path(7), gen.cycle(5), gen.random_bounded_treedepth(12, 3, seed=5)]:
+        f = optimal_elimination_forest(g)
+        td = canonical_tree_decomposition(f)
+        td.validate_for(g)
+        assert td.width() == f.depth() - 1  # Lemma 2.4
+
+
+def test_canonical_bags_are_root_paths():
+    f = EliminationForest({0: None, 1: 0, 2: 1})
+    td = canonical_tree_decomposition(f)
+    assert td.bag(2) == {0, 1, 2}
+    assert td.bag(0) == {0}
+
+
+def test_tree_decomposition_rejects_bad_bags():
+    g = gen.path(3)
+    # Missing edge coverage for (1, 2).
+    bad = TreeDecomposition({0: None, 1: 0}, {0: [0, 1], 1: [2]})
+    assert not bad.is_valid_for(g)
+    # Vertex 1's bags are disconnected in the tree.
+    bad2 = TreeDecomposition(
+        {0: None, 1: 0, 2: 1}, {0: [0, 1], 1: [1, 2], 2: [1]}
+    )
+    assert bad2.is_valid_for(g)  # still connected through node 1
+    bad3 = TreeDecomposition(
+        {0: None, 1: 0, 2: 1}, {0: [0, 1], 1: [2], 2: [1, 2]}
+    )
+    assert not bad3.is_valid_for(g)
+
+
+def test_tree_decomposition_mismatched_ids():
+    with pytest.raises(DecompositionError):
+        TreeDecomposition({0: None}, {0: [0], 1: [1]})
+
+
+def test_tree_decomposition_unknown_vertex_in_bag():
+    g = gen.path(2)
+    bad = TreeDecomposition({0: None}, {0: [0, 1, 7]})
+    assert not bad.is_valid_for(g)
