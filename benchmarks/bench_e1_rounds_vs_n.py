@@ -10,8 +10,9 @@ from repro.algebra import compile_formula
 from repro.distributed import decide
 from repro.graph import generators as gen
 from repro.mso import formulas
+from repro.obs import Tracer
 
-from reporting import record_table
+from reporting import record_phase_table, record_table
 
 SIZES = (16, 32, 64, 128)
 # Formulas whose automata stay small at boundary size 2^d (see E13 for the
@@ -53,4 +54,9 @@ def test_e1_rounds_vs_n(benchmark):
 
     automaton = compile_formula(formulas.h_free(gen.triangle()), ())
     g = gen.random_bounded_treedepth(64, depth=3, seed=64)
+    tracer = Tracer(events=False)
+    decide(automaton, g, d=3, tracer=tracer)
+    record_phase_table(
+        "E1", "per-phase rounds/bits (triangle-free, n=64, d=3)", tracer
+    )
     benchmark(lambda: decide(automaton, g, d=3))

@@ -12,8 +12,9 @@ from repro.congest import default_budget
 from repro.distributed import decide, optimize_distributed
 from repro.graph import generators as gen
 from repro.mso import formulas, vertex_set
+from repro.obs import Tracer
 
-from reporting import record_table
+from reporting import record_phase_table, record_table
 
 SIZES = (16, 64, 256)
 
@@ -47,4 +48,9 @@ def test_e3_message_sizes(benchmark):
     s = vertex_set("S")
     automaton = compile_formula(formulas.independent_set(s), (s,))
     g = gen.random_bounded_treedepth(64, depth=3, seed=99)
+    tracer = Tracer(events=False)
+    optimize_distributed(automaton, g, d=3, tracer=tracer)
+    record_phase_table(
+        "E3", "per-phase messages/bits (independent-set, n=64, d=3)", tracer
+    )
     benchmark(lambda: optimize_distributed(automaton, g, d=3))

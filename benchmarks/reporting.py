@@ -36,6 +36,23 @@ def record_table(
         handle.write("\n\n")
 
 
+def record_phase_table(experiment: str, title: str, tracer) -> None:
+    """Record a tracer's per-phase round/message/bit breakdown.
+
+    ``tracer`` is a :class:`repro.obs.Tracer`; benchmarks run their
+    representative instance under one (usually with ``events=False``) and
+    mirror the attribution table next to their headline series.
+    """
+    from repro.obs import phase_table_rows
+
+    record_table(
+        experiment,
+        title,
+        ("phase", "rounds", "messages", "bits", "max_bits", "spans"),
+        phase_table_rows(tracer),
+    )
+
+
 def recorded_series() -> List[Tuple[str, List[str]]]:
     return list(_SERIES)
 

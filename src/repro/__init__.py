@@ -25,8 +25,13 @@ Subpackages
     Low-treedepth decompositions and Corollary 7.3 on bounded expansion.
 ``repro.kernel``
     Gajarský–Hliněný subtree types and kernelization (the §1 citation).
+``repro.obs``
+    Instrumentation: phase-span tracing, typed trace events, per-phase /
+    per-node / per-edge metrics, wall-clock profiling, and exporters
+    (JSON lines, summary tables, Chrome trace format).
 ``repro.cli``
-    The ``python -m repro`` command-line interface.
+    The ``python -m repro`` command-line interface (including
+    ``repro trace`` and the ``REPRO_TRACE`` env var).
 """
 
 __version__ = "1.0.0"

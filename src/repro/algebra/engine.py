@@ -21,6 +21,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..errors import DecompositionError, ReproError
 from ..graph import Graph, Vertex
 from ..mso import syntax as sx
+from ..obs.profile import profiled
 from ..treedepth import EliminationForest
 from .automata import State, TreeAutomaton
 from .compiler import compile_formula
@@ -53,24 +54,25 @@ def run_states(
     if graph.num_vertices() == 0:
         raise ReproError("the algebra run needs at least one vertex")
     assignment = assignment or {}
-    state_after: Dict[Vertex, State] = {}
-    for v in forest.bottom_up_order():
-        k = forest.depth_of(v)
-        structure = base_structure(graph, forest, v)
-        vertex_item, edge_items = owned_items(graph, forest, v)
-        symbol = symbol_for_assignment(
-            structure, automaton.scope, vertex_item, edge_items, assignment
-        )
-        state = automaton.leaf(symbol)
-        for child in forest.children(v):
-            state = automaton.glue(k, state, state_after.pop(child))
-        state_after[v] = automaton.forget(k, state)
-    total: Optional[State] = None
-    for root in forest.roots():
-        s = state_after.pop(root)
-        total = s if total is None else automaton.glue(0, total, s)
-    assert total is not None
-    return total
+    with profiled("algebra.run_states"):
+        state_after: Dict[Vertex, State] = {}
+        for v in forest.bottom_up_order():
+            k = forest.depth_of(v)
+            structure = base_structure(graph, forest, v)
+            vertex_item, edge_items = owned_items(graph, forest, v)
+            symbol = symbol_for_assignment(
+                structure, automaton.scope, vertex_item, edge_items, assignment
+            )
+            state = automaton.leaf(symbol)
+            for child in forest.children(v):
+                state = automaton.glue(k, state, state_after.pop(child))
+            state_after[v] = automaton.forget(k, state)
+        total: Optional[State] = None
+        for root in forest.roots():
+            s = state_after.pop(root)
+            total = s if total is None else automaton.glue(0, total, s)
+        assert total is not None
+        return total
 
 
 def check(
@@ -171,44 +173,45 @@ def optimize(
     def better(candidate: int, incumbent: Optional[int]) -> bool:
         return incumbent is None or sign * candidate > sign * incumbent
 
-    for v in forest.bottom_up_order():
-        k = forest.depth_of(v)
-        structure = base_structure(graph, forest, v)
-        vertex_item, edge_items = owned_items(graph, forest, v)
-        leaf_table: Dict[State, int] = {}
-        leaf_choice: Dict[State, SymbolChoice] = {}
-        for choice in enumerate_symbol_choices(
-            structure, automaton.scope, vertex_item, edge_items
-        ):
-            state = automaton.leaf(choice.symbol)
-            w = weight_of(choice.chosen[0])
-            if better(w, leaf_table.get(state)):
-                leaf_table[state] = w
-                leaf_choice[state] = choice
-        table = leaf_table
-        glue_steps: List[Tuple[Vertex, Dict[State, Tuple[State, State]]]] = []
-        for child in forest.children(v):
-            child_table = tables.pop(child)
-            merged: Dict[State, int] = {}
-            back: Dict[State, Tuple[State, State]] = {}
-            for s1 in sorted(table, key=automaton.intern):
-                for s2 in sorted(child_table, key=automaton.intern):
-                    s = automaton.glue(k, s1, s2)
-                    w = table[s1] + child_table[s2]
-                    if better(w, merged.get(s)):
-                        merged[s] = w
-                        back[s] = (s1, s2)
-            table = merged
-            glue_steps.append((child, back))
-        forget_table: Dict[State, int] = {}
-        forget_back: Dict[State, State] = {}
-        for s in sorted(table, key=automaton.intern):
-            fs = automaton.forget(k, s)
-            if better(table[s], forget_table.get(fs)):
-                forget_table[fs] = table[s]
-                forget_back[fs] = s
-        tables[v] = forget_table
-        traces[v] = _NodeTrace(leaf_choice, glue_steps, forget_back)
+    with profiled("algebra.optimize.tables"):
+        for v in forest.bottom_up_order():
+            k = forest.depth_of(v)
+            structure = base_structure(graph, forest, v)
+            vertex_item, edge_items = owned_items(graph, forest, v)
+            leaf_table: Dict[State, int] = {}
+            leaf_choice: Dict[State, SymbolChoice] = {}
+            for choice in enumerate_symbol_choices(
+                structure, automaton.scope, vertex_item, edge_items
+            ):
+                state = automaton.leaf(choice.symbol)
+                w = weight_of(choice.chosen[0])
+                if better(w, leaf_table.get(state)):
+                    leaf_table[state] = w
+                    leaf_choice[state] = choice
+            table = leaf_table
+            glue_steps: List[Tuple[Vertex, Dict[State, Tuple[State, State]]]] = []
+            for child in forest.children(v):
+                child_table = tables.pop(child)
+                merged: Dict[State, int] = {}
+                back: Dict[State, Tuple[State, State]] = {}
+                for s1 in sorted(table, key=automaton.intern):
+                    for s2 in sorted(child_table, key=automaton.intern):
+                        s = automaton.glue(k, s1, s2)
+                        w = table[s1] + child_table[s2]
+                        if better(w, merged.get(s)):
+                            merged[s] = w
+                            back[s] = (s1, s2)
+                table = merged
+                glue_steps.append((child, back))
+            forget_table: Dict[State, int] = {}
+            forget_back: Dict[State, State] = {}
+            for s in sorted(table, key=automaton.intern):
+                fs = automaton.forget(k, s)
+                if better(table[s], forget_table.get(fs)):
+                    forget_table[fs] = table[s]
+                    forget_back[fs] = s
+            tables[v] = forget_table
+            traces[v] = _NodeTrace(leaf_choice, glue_steps, forget_back)
 
     # Combine the per-component tables at the empty boundary.
     roots = forest.roots()
@@ -291,29 +294,30 @@ def count(
         automaton = compile_with_singletons(formula, scope)
 
     tables: Dict[Vertex, Dict[State, int]] = {}
-    for v in forest.bottom_up_order():
-        k = forest.depth_of(v)
-        structure = base_structure(graph, forest, v)
-        vertex_item, edge_items = owned_items(graph, forest, v)
-        table: Dict[State, int] = {}
-        for choice in enumerate_symbol_choices(
-            structure, scope, vertex_item, edge_items
-        ):
-            state = automaton.leaf(choice.symbol)
-            table[state] = table.get(state, 0) + 1
-        for child in forest.children(v):
-            child_table = tables.pop(child)
-            merged: Dict[State, int] = {}
-            for s1, c1 in table.items():
-                for s2, c2 in child_table.items():
-                    s = automaton.glue(k, s1, s2)
-                    merged[s] = merged.get(s, 0) + c1 * c2
-            table = merged
-        forgotten: Dict[State, int] = {}
-        for s, c in table.items():
-            fs = automaton.forget(k, s)
-            forgotten[fs] = forgotten.get(fs, 0) + c
-        tables[v] = forgotten
+    with profiled("algebra.count.tables"):
+        for v in forest.bottom_up_order():
+            k = forest.depth_of(v)
+            structure = base_structure(graph, forest, v)
+            vertex_item, edge_items = owned_items(graph, forest, v)
+            table: Dict[State, int] = {}
+            for choice in enumerate_symbol_choices(
+                structure, scope, vertex_item, edge_items
+            ):
+                state = automaton.leaf(choice.symbol)
+                table[state] = table.get(state, 0) + 1
+            for child in forest.children(v):
+                child_table = tables.pop(child)
+                merged: Dict[State, int] = {}
+                for s1, c1 in table.items():
+                    for s2, c2 in child_table.items():
+                        s = automaton.glue(k, s1, s2)
+                        merged[s] = merged.get(s, 0) + c1 * c2
+                table = merged
+            forgotten: Dict[State, int] = {}
+            for s, c in table.items():
+                fs = automaton.forget(k, s)
+                forgotten[fs] = forgotten.get(fs, 0) + c
+            tables[v] = forgotten
 
     roots = forest.roots()
     combined = tables[roots[0]]

@@ -8,16 +8,23 @@ Commands
 ``treedepth`` compute exact or heuristic treedepth / elimination forests
 ``certify``   produce and verify certification (proof labeling)
 ``catalog``   list the built-in formula catalog
+``trace``     run any command above with instrumentation enabled
 
 Graphs are given either as a generator spec (``path:20``, ``cycle:8``,
 ``grid:4x6``, ``clique:5``, ``star:7``, ``bounded:24:3:0.5:42`` for
 (n, depth, edge-prob, seed)) or as ``file:PATH`` in the
-:mod:`repro.graph.io` text format.
+:mod:`repro.graph.io` text format.  Every command accepts the graph
+either positionally or via ``--graph SPEC``.
+
+Setting ``REPRO_TRACE=1`` traces any command without the ``trace``
+prefix (phase table on stderr); ``REPRO_TRACE=PATH`` additionally
+writes the JSON-lines trace to ``PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -31,6 +38,13 @@ from .errors import ReproError
 from .graph import Graph, generators
 from .graph.io import read_graph
 from .mso import Sort, Var, formulas, parse
+from .obs import (
+    Tracer,
+    render_phase_table,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .treedepth import (
     best_heuristic_forest,
     dfs_elimination_forest,
@@ -104,6 +118,13 @@ def parse_graph_spec(spec: str) -> Graph:
     )
 
 
+def _graph_spec(args: argparse.Namespace) -> str:
+    spec = getattr(args, "graph_opt", None) or args.graph
+    if spec is None:
+        raise ReproError("provide a graph spec (positionally or via --graph)")
+    return spec
+
+
 def _resolve_formula(args: argparse.Namespace):
     if args.catalog:
         if args.catalog not in _CATALOG:
@@ -112,6 +133,10 @@ def _resolve_formula(args: argparse.Namespace):
             )
         return _CATALOG[args.catalog]()
     if args.formula:
+        # A bare catalog name is accepted through --formula too, so that
+        # ``--formula triangle-free`` does the obvious thing.
+        if not args.free and args.formula in _CATALOG:
+            return _CATALOG[args.formula]()
         free = {}
         for decl in args.free or []:
             name, _, sort = decl.partition(":")
@@ -123,7 +148,7 @@ def _resolve_formula(args: argparse.Namespace):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    graph = parse_graph_spec(args.graph)
+    graph = parse_graph_spec(_graph_spec(args))
     formula = _resolve_formula(args)
     automaton = compile_formula(formula, ())
     if args.congest:
@@ -145,7 +170,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    graph = parse_graph_spec(args.graph)
+    graph = parse_graph_spec(_graph_spec(args))
     if args.problem not in _OPT_CATALOG:
         raise ReproError(
             f"unknown problem {args.problem!r}; choose from {sorted(_OPT_CATALOG)}"
@@ -179,7 +204,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    graph = parse_graph_spec(args.graph)
+    graph = parse_graph_spec(_graph_spec(args))
     if args.triangles:
         formula, variables = formulas.triangle_assignment()
         automaton = compile_with_singletons(formula, variables)
@@ -199,7 +224,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _cmd_treedepth(args: argparse.Namespace) -> int:
-    graph = parse_graph_spec(args.graph)
+    graph = parse_graph_spec(_graph_spec(args))
     if args.exact:
         if graph.num_vertices() > 18:
             raise ReproError("exact treedepth is exponential; use <= 18 vertices")
@@ -214,7 +239,7 @@ def _cmd_treedepth(args: argparse.Namespace) -> int:
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
-    graph = parse_graph_spec(args.graph)
+    graph = parse_graph_spec(_graph_spec(args))
     formula = _resolve_formula(args)
     automaton = compile_formula(formula, ())
     instance = prove(graph, automaton)
@@ -223,6 +248,26 @@ def _cmd_certify(args: argparse.Namespace) -> int:
           f"{instance.codec.num_classes} classes")
     print(f"verification: accepted={audit.accepted} in {audit.rounds} rounds")
     return 0 if audit.accepted else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    inner = build_parser().parse_args([args.traced, *args.rest])
+    tracer = Tracer(max_events=args.max_events,
+                    capture_payloads=not args.no_payloads)
+    with use_tracer(tracer):
+        code = inner.func(inner)
+    tracer.finish()
+    print()
+    print(render_phase_table(tracer))
+    if args.jsonl and args.jsonl != "none":
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            written = write_jsonl(tracer, handle)
+        print(f"trace: {written} events -> {args.jsonl}")
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            write_chrome_trace(tracer, handle)
+        print(f"trace: chrome trace -> {args.chrome}")
+    return code
 
 
 def _cmd_catalog(_args: argparse.Namespace) -> int:
@@ -243,8 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_graph(p):
+        p.add_argument("graph", nargs="?", default=None,
+                       help="graph spec (e.g. path:20, bounded:24:3)")
+        p.add_argument("--graph", dest="graph_opt", default=None,
+                       metavar="SPEC", help="graph spec (alternative to the "
+                       "positional argument)")
+
     def add_common(p, formula=True):
-        p.add_argument("graph", help="graph spec (e.g. path:20, bounded:24:3)")
+        add_graph(p)
         p.add_argument("--congest", action="store_true",
                        help="run the distributed protocol instead of Algorithm 1")
         p.add_argument("--d", type=int, default=3,
@@ -274,7 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.set_defaults(func=_cmd_count)
 
     p_td = sub.add_parser("treedepth", help="treedepth of a graph")
-    p_td.add_argument("graph")
+    add_graph(p_td)
     p_td.add_argument("--exact", action="store_true")
     p_td.set_defaults(func=_cmd_treedepth)
 
@@ -284,13 +336,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cat = sub.add_parser("catalog", help="list built-in formulas")
     p_cat.set_defaults(func=_cmd_catalog)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run another command with the instrumentation layer on",
+        description="Runs the wrapped command under a Tracer and reports a "
+        "per-phase breakdown (rounds / messages / bits) plus sequential "
+        "wall-clock profiles.  Trace options go BEFORE the wrapped command: "
+        "repro trace --jsonl t.jsonl check --formula triangle-free "
+        "--graph cycle:8 --congest",
+    )
+    p_trace.add_argument("--jsonl", default="repro-trace.jsonl", metavar="PATH",
+                         help="JSON-lines trace output (default "
+                         "repro-trace.jsonl; 'none' to skip)")
+    p_trace.add_argument("--chrome", default=None, metavar="PATH",
+                         help="also write a Chrome-trace-format file "
+                         "(chrome://tracing / Perfetto)")
+    p_trace.add_argument("--max-events", type=int, default=200_000,
+                         help="event buffer cap (default 200000)")
+    p_trace.add_argument("--no-payloads", action="store_true",
+                         help="do not record message payload reprs")
+    p_trace.add_argument("traced", choices=["check", "optimize", "count",
+                                            "treedepth", "certify"],
+                         help="the command to run under tracing")
+    p_trace.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="arguments for the wrapped command")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    env_trace = os.environ.get("REPRO_TRACE", "")
     try:
+        if env_trace and env_trace != "0" and args.command != "trace":
+            tracer = Tracer()
+            with use_tracer(tracer):
+                code = args.func(args)
+            tracer.finish()
+            print(render_phase_table(tracer), file=sys.stderr)
+            if env_trace.lower() not in ("1", "true", "yes", "on"):
+                with open(env_trace, "w", encoding="utf-8") as handle:
+                    write_jsonl(tracer, handle)
+                print(f"trace: events -> {env_trace}", file=sys.stderr)
+            return code
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 
 @dataclass
@@ -12,7 +12,10 @@ class RoundMetrics:
 
     ``max_message_bits`` is the headline CONGEST-legality figure: it must
     stay within the per-edge budget (O(log n)) for the execution to be a
-    valid CONGEST run.
+    valid CONGEST run.  ``per_round_messages`` / ``per_round_bits`` track
+    the load profile round by round; ``trace_truncated`` flags that the
+    simulation's legacy trace list hit its cap and silently dropped
+    entries (see :class:`~repro.congest.runtime.Simulation`).
     """
 
     budget_bits: int
@@ -21,10 +24,13 @@ class RoundMetrics:
     total_bits: int = 0
     max_message_bits: int = 0
     per_round_messages: List[int] = field(default_factory=list)
+    per_round_bits: List[int] = field(default_factory=list)
+    trace_truncated: bool = False
 
     def record_round(self) -> None:
         self.rounds += 1
         self.per_round_messages.append(0)
+        self.per_round_bits.append(0)
 
     def record_message(self, bits: int) -> None:
         self.total_messages += 1
@@ -32,10 +38,31 @@ class RoundMetrics:
         self.max_message_bits = max(self.max_message_bits, bits)
         if self.per_round_messages:
             self.per_round_messages[-1] += 1
+            self.per_round_bits[-1] += bits
+
+    def peak_round_messages(self) -> Tuple[int, int]:
+        """(1-based round, message count) of the busiest round by messages."""
+        if not self.per_round_messages:
+            return (0, 0)
+        count = max(self.per_round_messages)
+        return (self.per_round_messages.index(count) + 1, count)
+
+    def peak_round_bits(self) -> Tuple[int, int]:
+        """(1-based round, bits) of the busiest round by bits."""
+        if not self.per_round_bits:
+            return (0, 0)
+        bits = max(self.per_round_bits)
+        return (self.per_round_bits.index(bits) + 1, bits)
 
     def summary(self) -> str:
-        return (
+        peak_r, peak_m = self.peak_round_messages()
+        _, peak_b = self.peak_round_bits()
+        text = (
             f"rounds={self.rounds} messages={self.total_messages} "
             f"bits={self.total_bits} max_message_bits={self.max_message_bits} "
-            f"budget={self.budget_bits}"
+            f"peak_round={peak_r} peak_round_messages={peak_m} "
+            f"peak_round_bits={peak_b} budget={self.budget_bits}"
         )
+        if self.trace_truncated:
+            text += " trace_truncated=True"
+        return text

@@ -34,16 +34,17 @@ def leader_election(
     G[U] even though the physical network is connected.
     """
     best: Optional[Vertex] = ctx.node if participating else None
-    for _ in range(rounds):
-        if participating:
-            ctx.send_all(("lead", best))
-        inbox = yield
-        if participating:
-            for payload in inbox.values():
-                if isinstance(payload, tuple) and payload and payload[0] == "lead":
-                    candidate = payload[1]
-                    if candidate is not None and candidate < best:
-                        best = candidate
+    with ctx.phase("leader-election"):
+        for _ in range(rounds):
+            if participating:
+                ctx.send_all(("lead", best))
+            inbox = yield
+            if participating:
+                for payload in inbox.values():
+                    if isinstance(payload, tuple) and payload and payload[0] == "lead":
+                        candidate = payload[1]
+                        if candidate is not None and candidate < best:
+                            best = candidate
     return best
 
 

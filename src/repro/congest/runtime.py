@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import CongestError, MessageTooLargeError, ProtocolError
 from ..graph import Graph, Vertex
+from ..obs import NULL_SPAN, Tracer, current_tracer
 from .messages import Payload, payload_bits
 from .metrics import RoundMetrics
 
@@ -81,6 +82,19 @@ class NodeContext:
     def budget(self) -> int:
         return self._simulation.metrics.budget_bits
 
+    def phase(self, name: str):
+        """Open a named per-node phase span on the simulation's tracer.
+
+        Rounds, messages, and bits recorded while the span is open are
+        attributed to the phase (hierarchically: nested spans join their
+        names with ``/``).  Returns a shared no-op context manager when
+        tracing is disabled, so protocols can phase unconditionally.
+        """
+        tracer = self._simulation.tracer
+        if tracer is None:
+            return NULL_SPAN
+        return tracer.phase(name, node=self.node)
+
     def send(self, neighbor: Vertex, payload: Payload) -> None:
         """Queue a message for delivery to ``neighbor`` next round."""
         self._simulation._queue_message(self.node, neighbor, payload)
@@ -103,11 +117,18 @@ class SimulationResult:
         return self.metrics.rounds
 
     def unanimous(self) -> Any:
-        """The common output if all nodes agree; raises otherwise."""
-        values = set(map(repr, self.outputs.values()))
-        if len(values) != 1:
+        """The common output if all nodes agree; raises otherwise.
+
+        Outputs are compared with ``==`` (not their reprs), so e.g. equal
+        dicts with different insertion orders still count as agreement.
+        """
+        values = list(self.outputs.values())
+        if not values:
+            raise ProtocolError("no outputs recorded")
+        first = values[0]
+        if any(value != first for value in values[1:]):
             raise ProtocolError(f"outputs disagree: {self.outputs}")
-        return next(iter(self.outputs.values()))
+        return first
 
 
 class Simulation:
@@ -122,6 +143,7 @@ class Simulation:
         max_rounds: int = 10_000,
         trace: bool = False,
         trace_limit: int = 100_000,
+        tracer: Optional[Tracer] = None,
     ):
         if graph.num_vertices() == 0:
             raise CongestError("CONGEST needs at least one node")
@@ -136,6 +158,9 @@ class Simulation:
         self._trace_enabled = trace
         self._trace_limit = trace_limit
         self.trace: List[Tuple[int, Vertex, Vertex, Payload]] = []
+        # Explicit tracer wins; otherwise pick up a process-installed one
+        # (the REPRO_TRACE / ``repro trace`` path).  None = fully disabled.
+        self.tracer = tracer if tracer is not None else current_tracer()
 
     # -- internal -------------------------------------------------------
     def _queue_message(self, sender: Vertex, receiver: Vertex, payload: Payload) -> None:
@@ -153,8 +178,15 @@ class Simulation:
             raise MessageTooLargeError(bits, self.metrics.budget_bits)
         self._outgoing[key] = payload
         self.metrics.record_message(bits)
-        if self._trace_enabled and len(self.trace) < self._trace_limit:
-            self.trace.append((self.metrics.rounds, sender, receiver, payload))
+        if self.tracer is not None:
+            self.tracer.on_send(sender, receiver, bits, payload)
+        if self._trace_enabled:
+            if len(self.trace) < self._trace_limit:
+                self.trace.append(
+                    (self.metrics.rounds, sender, receiver, payload)
+                )
+            else:
+                self.metrics.trace_truncated = True
 
     # -- execution ------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -172,8 +204,12 @@ class Simulation:
         generators: Dict[Vertex, Generator[None, Inbox, Any]] = {}
         outputs: Dict[Vertex, Any] = {}
 
+        tracer = self.tracer
+
         # Round 1: local computation + first sends.
         self.metrics.record_round()
+        if tracer is not None:
+            tracer.on_round_start()
         self._sending_open = True
         for v in self._graph.vertices():
             gen = self._program(contexts[v])
@@ -182,6 +218,8 @@ class Simulation:
                 generators[v] = gen
             except StopIteration as stop:
                 outputs[v] = stop.value
+                if tracer is not None:
+                    tracer.on_halt(v, stop.value)
         self._sending_open = False
 
         while generators:
@@ -196,6 +234,10 @@ class Simulation:
             for (sender, receiver), payload in delivery.items():
                 by_receiver.setdefault(receiver, {})[sender] = payload
             self.metrics.record_round()
+            if tracer is not None:
+                tracer.on_round_start()
+                for (sender, receiver), payload in delivery.items():
+                    tracer.on_deliver(sender, receiver, payload_bits(payload))
             self._sending_open = True
             for v in sorted(generators):
                 inbox: Inbox = by_receiver.get(v, {})
@@ -205,9 +247,13 @@ class Simulation:
                 except StopIteration as stop:
                     outputs[v] = stop.value
                     del generators[v]
+                    if tracer is not None:
+                        tracer.on_halt(v, stop.value)
             self._sending_open = False
             if not self._outgoing and not generators:
                 break
+        if tracer is not None:
+            tracer.finish()
         return SimulationResult(outputs=outputs, metrics=self.metrics)
 
 
@@ -217,8 +263,10 @@ def run_protocol(
     inputs: Optional[Dict[Vertex, Dict[str, Any]]] = None,
     budget: Optional[int] = None,
     max_rounds: int = 10_000,
+    tracer: Optional[Tracer] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a Simulation and run it."""
     return Simulation(
-        graph, program, inputs=inputs, budget=budget, max_rounds=max_rounds
+        graph, program, inputs=inputs, budget=budget, max_rounds=max_rounds,
+        tracer=tracer,
     ).run()

@@ -19,6 +19,7 @@ from ..algebra.symbols import enumerate_symbol_choices
 from ..congest import Inbox, ItemCollector, NodeContext, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
+from ..obs import Tracer, current_tracer, maybe_phase
 from .elimination import build_elimination_tree
 from .model_checking import ClassCodec, local_base_symbol, node_inputs_from_elimination
 
@@ -63,48 +64,49 @@ def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
             state = automaton.leaf(choice.symbol)
             table[state] = table.get(state, 0) + 1
 
-        collector = ItemCollector("cnt", children)
-        while not collector.complete:
-            inbox = yield
-            collector.absorb(inbox)
-        for child in children:
-            # Entries are framed as a header item (0, class_id) followed by
-            # digit items (1, digit) in little-endian order — each message
-            # stays small even when |C_reachable| is large.
-            child_table: Dict[Any, int] = {}
-            current_state = None
-            digit_index = 0
-            for kind, value in collector.items_from(child):
-                if kind == 0:
-                    current_state = codec.decode(value)
-                    digit_index = 0
-                else:
-                    if current_state is None:
-                        raise ProtocolError("count digit before its header")
-                    child_table[current_state] = child_table.get(
-                        current_state, 0
-                    ) | (value << (_CHUNK_BITS * digit_index))
-                    digit_index += 1
-            merged: Dict[Any, int] = {}
-            for s1, c1 in table.items():
-                for s2, c2 in child_table.items():
-                    s = automaton.glue(depth, s1, s2)
-                    merged[s] = merged.get(s, 0) + c1 * c2
-            table = merged
-        forgotten: Dict[Any, int] = {}
-        for s, c in table.items():
-            fs = automaton.forget(depth, s)
-            forgotten[fs] = forgotten.get(fs, 0) + c
+        with ctx.phase("count-streaming"):
+            collector = ItemCollector("cnt", children)
+            while not collector.complete:
+                inbox = yield
+                collector.absorb(inbox)
+            for child in children:
+                # Entries are framed as a header item (0, class_id) followed by
+                # digit items (1, digit) in little-endian order — each message
+                # stays small even when |C_reachable| is large.
+                child_table: Dict[Any, int] = {}
+                current_state = None
+                digit_index = 0
+                for kind, value in collector.items_from(child):
+                    if kind == 0:
+                        current_state = codec.decode(value)
+                        digit_index = 0
+                    else:
+                        if current_state is None:
+                            raise ProtocolError("count digit before its header")
+                        child_table[current_state] = child_table.get(
+                            current_state, 0
+                        ) | (value << (_CHUNK_BITS * digit_index))
+                        digit_index += 1
+                merged: Dict[Any, int] = {}
+                for s1, c1 in table.items():
+                    for s2, c2 in child_table.items():
+                        s = automaton.glue(depth, s1, s2)
+                        merged[s] = merged.get(s, 0) + c1 * c2
+                table = merged
+            forgotten: Dict[Any, int] = {}
+            for s, c in table.items():
+                fs = automaton.forget(depth, s)
+                forgotten[fs] = forgotten.get(fs, 0) + c
 
-        if parent is not None:
-            for s in sorted(forgotten, key=codec.encode):
-                ctx.send(parent, ("cnt", (0, codec.encode(s))))
-                yield
-                for digit in _count_to_digits(forgotten[s]):
-                    ctx.send(parent, ("cnt", (1, digit)))
+            if parent is not None:
+                for s in sorted(forgotten, key=codec.encode):
+                    ctx.send(parent, ("cnt", (0, codec.encode(s))))
                     yield
-            ctx.send(parent, ("cnt/end", None))
-            return None
+                    for digit in _count_to_digits(forgotten[s]):
+                        ctx.send(parent, ("cnt", (1, digit)))
+                        yield
+                ctx.send(parent, ("cnt/end", None))
+                return None
         return sum(c for s, c in forgotten.items() if automaton.accepts(s))
 
     return program
@@ -128,11 +130,13 @@ def count_distributed(
     graph: Graph,
     d: int,
     budget: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DistributedCount:
     """Run Algorithm 2 followed by the counting convergecast."""
     if not automaton.scope:
         raise ProtocolError("counting needs at least one free variable")
-    elim = build_elimination_tree(graph, d, budget=budget)
+    tracer = tracer if tracer is not None else current_tracer()
+    elim = build_elimination_tree(graph, d, budget=budget, tracer=tracer)
     if not elim.accepted:
         return DistributedCount(
             count=None,
@@ -145,13 +149,15 @@ def count_distributed(
         )
     inputs = node_inputs_from_elimination(graph, elim)
     codec = ClassCodec(automaton)
-    result = run_protocol(
-        graph,
-        counting_program(automaton, codec),
-        inputs=inputs,
-        budget=budget,
-        max_rounds=500_000,
-    )
+    with maybe_phase(tracer, "counting"):
+        result = run_protocol(
+            graph,
+            counting_program(automaton, codec),
+            inputs=inputs,
+            budget=budget,
+            max_rounds=500_000,
+            tracer=tracer,
+        )
     counts = [c for c in result.outputs.values() if c is not None]
     if len(counts) != 1:
         raise ProtocolError("exactly one node (the root) should hold the count")

@@ -23,6 +23,7 @@ from ..congest import Inbox, NodeContext, run_protocol
 from ..errors import ProtocolError
 from ..expansion import LowTreedepthDecomposition
 from ..graph import Graph, Vertex
+from ..obs import Tracer, current_tracer, maybe_phase
 
 
 def grid_coloring_program(ctx: NodeContext) -> Generator[None, Inbox, Optional[int]]:
@@ -36,8 +37,9 @@ def grid_coloring_program(ctx: NodeContext) -> Generator[None, Inbox, Optional[i
     p = int(ctx.input["p"])
     period = p + 1
     color = (row % period) * period + (col % period)
-    ctx.send_all(("coord", row, col))
-    inbox = yield
+    with ctx.phase("coordinate-verification"):
+        ctx.send_all(("coord", row, col))
+        inbox = yield
     for payload in inbox.values():
         if not (isinstance(payload, tuple) and payload and payload[0] == "coord"):
             return None
@@ -63,6 +65,7 @@ def grid_decomposition_distributed(
     cols: int,
     p: int,
     budget: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DistributedDecompositionResult:
     """Run the O(1)-round distributed residue coloring on a grid network.
 
@@ -77,13 +80,16 @@ def grid_decomposition_distributed(
         for r in range(rows)
         for c in range(cols)
     }
-    result = run_protocol(
-        graph,
-        grid_coloring_program,
-        inputs=inputs,
-        budget=budget,
-        max_rounds=10,
-    )
+    tracer = tracer if tracer is not None else current_tracer()
+    with maybe_phase(tracer, "decomposition"):
+        result = run_protocol(
+            graph,
+            grid_coloring_program,
+            inputs=inputs,
+            budget=budget,
+            max_rounds=10,
+            tracer=tracer,
+        )
     if any(color is None for color in result.outputs.values()):
         return DistributedDecompositionResult(
             decomposition=None,

@@ -30,6 +30,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from ..congest import Inbox, NodeContext, leader_election, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex
+from ..obs import Tracer, current_tracer, maybe_phase
 from ..treedepth import EliminationForest
 
 
@@ -54,7 +55,10 @@ def elimination_tree_program(
     max_depth = 2 ** d - 1  # paper's D
 
     # -- line 2-6: global leader election, root marks itself ------------
-    leader = yield from leader_election(ctx, participating=True, rounds=horizon)
+    with ctx.phase("root-election"):
+        leader = yield from leader_election(
+            ctx, participating=True, rounds=horizon
+        )
     marked = leader == ctx.node
     depth = 1 if marked else 0
     parent: Optional[Vertex] = None
@@ -62,37 +66,38 @@ def elimination_tree_program(
 
     # -- line 7-21: one adoption step per depth --------------------------
     for step in range(2, max_depth + 1):
-        component_leader = yield from leader_election(
-            ctx, participating=not marked, rounds=horizon
-        )
-        # (b) unmarked vertices broadcast (leader, id).
-        if not marked:
-            ctx.send_all(("cand", component_leader, ctx.node))
-        inbox = yield
-        # (c) marked vertices of depth step-1 adopt one child per leader.
-        adopted: Dict[Vertex, Vertex] = {}
-        if marked and depth == step - 1:
-            for payload in sorted(inbox.values(), key=repr):
-                if isinstance(payload, tuple) and payload and payload[0] == "cand":
-                    _, lead, cand = payload
-                    if lead not in adopted or cand < adopted[lead]:
-                        adopted[lead] = cand
-            for child in adopted.values():
-                ctx.send(child, ("adopt",))
-                children.append(child)
-        inbox = yield
-        if not marked:
-            adopters = [
-                sender
-                for sender, payload in inbox.items()
-                if isinstance(payload, tuple) and payload and payload[0] == "adopt"
-            ]
-            if adopters:
-                # The invariant guarantees a unique adopter; tolerate (and
-                # later reject via verification) violations of it.
-                parent = min(adopters)
-                depth = step
-                marked = True
+        with ctx.phase("adoption"):
+            component_leader = yield from leader_election(
+                ctx, participating=not marked, rounds=horizon
+            )
+            # (b) unmarked vertices broadcast (leader, id).
+            if not marked:
+                ctx.send_all(("cand", component_leader, ctx.node))
+            inbox = yield
+            # (c) marked vertices of depth step-1 adopt one child per leader.
+            adopted: Dict[Vertex, Vertex] = {}
+            if marked and depth == step - 1:
+                for payload in sorted(inbox.values(), key=repr):
+                    if isinstance(payload, tuple) and payload and payload[0] == "cand":
+                        _, lead, cand = payload
+                        if lead not in adopted or cand < adopted[lead]:
+                            adopted[lead] = cand
+                for child in adopted.values():
+                    ctx.send(child, ("adopt",))
+                    children.append(child)
+            inbox = yield
+            if not marked:
+                adopters = [
+                    sender
+                    for sender, payload in inbox.items()
+                    if isinstance(payload, tuple) and payload and payload[0] == "adopt"
+                ]
+                if adopters:
+                    # The invariant guarantees a unique adopter; tolerate (and
+                    # later reject via verification) violations of it.
+                    parent = min(adopters)
+                    depth = step
+                    marked = True
 
     if not marked:
         # Line 22: still unmarked after 2^d - 1 steps -> td(G) > d.
@@ -102,31 +107,32 @@ def elimination_tree_program(
     # Each node emits its root path to its children, one id per round:
     # first the ids relayed from its parent, then its own id, then "end".
     bag: List[Vertex] = []
-    incoming_done = parent is None
-    outgoing: List[Tuple[str, Optional[Vertex]]] = []
-    if parent is None:
-        outgoing = [("bagid", ctx.node), ("bagend", None)]
-    sent_own = parent is None
-    # The pipeline needs at most max_depth + depth rounds; add slack for
-    # the end markers.
-    for _ in range(2 * max_depth + 2):
-        if outgoing:
-            kind, value = outgoing.pop(0)
-            for child in children:
-                ctx.send(child, (kind, value))
-        inbox = yield
-        if not incoming_done and parent in inbox:
-            payload = inbox[parent]
-            if isinstance(payload, tuple) and payload:
-                if payload[0] == "bagid":
-                    bag.append(payload[1])
-                    outgoing.append(("bagid", payload[1]))
-                elif payload[0] == "bagend":
-                    incoming_done = True
-                    if not sent_own:
-                        outgoing.append(("bagid", ctx.node))
-                        outgoing.append(("bagend", None))
-                        sent_own = True
+    with ctx.phase("bag-streaming"):
+        incoming_done = parent is None
+        outgoing: List[Tuple[str, Optional[Vertex]]] = []
+        if parent is None:
+            outgoing = [("bagid", ctx.node), ("bagend", None)]
+        sent_own = parent is None
+        # The pipeline needs at most max_depth + depth rounds; add slack for
+        # the end markers.
+        for _ in range(2 * max_depth + 2):
+            if outgoing:
+                kind, value = outgoing.pop(0)
+                for child in children:
+                    ctx.send(child, (kind, value))
+            inbox = yield
+            if not incoming_done and parent in inbox:
+                payload = inbox[parent]
+                if isinstance(payload, tuple) and payload:
+                    if payload[0] == "bagid":
+                        bag.append(payload[1])
+                        outgoing.append(("bagid", payload[1]))
+                    elif payload[0] == "bagend":
+                        incoming_done = True
+                        if not sent_own:
+                            outgoing.append(("bagid", ctx.node))
+                            outgoing.append(("bagend", None))
+                            sent_own = True
     bag_full = tuple(bag) + (ctx.node,)
     if len(bag_full) != depth:
         return EliminationOutput(status="treedepth_exceeded")
@@ -134,8 +140,9 @@ def elimination_tree_program(
     # -- Verification sweep ----------------------------------------------
     # Every node announces (id, depth); every edge then checks ancestry:
     # the deeper endpoint must have the shallower one in its bag.
-    ctx.send_all(("meta", depth))
-    inbox = yield
+    with ctx.phase("verification"):
+        ctx.send_all(("meta", depth))
+        inbox = yield
     ok = True
     for neighbor, payload in inbox.items():
         if not (isinstance(payload, tuple) and payload and payload[0] == "meta"):
@@ -179,24 +186,31 @@ class DistributedEliminationResult:
 
 
 def build_elimination_tree(
-    graph: Graph, d: int, budget: Optional[int] = None
+    graph: Graph,
+    d: int,
+    budget: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DistributedEliminationResult:
     """Run Algorithm 2 on ``graph`` with treedepth bound ``d``.
 
     Returns the assembled elimination tree (validated against the graph)
     when every node accepted, or ``accepted=False`` when some node reported
-    td(G) > d.
+    td(G) > d.  Rounds and traffic land under the ``elimination`` phase of
+    ``tracer`` (explicit or process-installed) when tracing is on.
     """
     if not graph.is_connected():
         raise ProtocolError("CONGEST requires a connected network")
+    tracer = tracer if tracer is not None else current_tracer()
     inputs = {v: {"d": d} for v in graph.vertices()}
-    result = run_protocol(
-        graph,
-        elimination_tree_program,
-        inputs=inputs,
-        budget=budget,
-        max_rounds=200 + 40 * (4 ** d) + 4 * graph.num_vertices(),
-    )
+    with maybe_phase(tracer, "elimination"):
+        result = run_protocol(
+            graph,
+            elimination_tree_program,
+            inputs=inputs,
+            budget=budget,
+            max_rounds=200 + 40 * (4 ** d) + 4 * graph.num_vertices(),
+            tracer=tracer,
+        )
     outputs: Dict[Vertex, EliminationOutput] = result.outputs
     accepted = all(out.status == "ok" for out in outputs.values())
     forest: Optional[EliminationForest] = None

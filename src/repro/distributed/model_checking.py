@@ -32,6 +32,7 @@ from ..congest import Inbox, NodeContext, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
+from ..obs import Tracer, current_tracer, maybe_phase
 from .elimination import DistributedEliminationResult, build_elimination_tree
 
 
@@ -97,38 +98,39 @@ def decision_program(automaton: TreeAutomaton, codec: ClassCodec):
         pending = set(children)
         child_states: Dict[Vertex, Any] = {}
         # Bottom-up phase: wait for every child's class.
-        while pending:
-            inbox = yield
-            for sender, payload in inbox.items():
-                if (
-                    sender in pending
-                    and isinstance(payload, tuple)
-                    and payload
-                    and payload[0] == "class"
-                ):
-                    child_states[sender] = codec.decode(payload[1])
-                    pending.discard(sender)
-        for child in children:
-            state = automaton.glue(depth, state, child_states[child])
-        state = automaton.forget(depth, state)
-
-        if parent is not None:
-            ctx.send(parent, ("class", codec.encode(state)))
-        else:
-            verdict = automaton.accepts(state)
+        with ctx.phase("convergecast"):
+            while pending:
+                inbox = yield
+                for sender, payload in inbox.items():
+                    if (
+                        sender in pending
+                        and isinstance(payload, tuple)
+                        and payload
+                        and payload[0] == "class"
+                    ):
+                        child_states[sender] = codec.decode(payload[1])
+                        pending.discard(sender)
             for child in children:
-                ctx.send(child, ("verdict", verdict))
-            return verdict
+                state = automaton.glue(depth, state, child_states[child])
+            state = automaton.forget(depth, state)
+            if parent is not None:
+                ctx.send(parent, ("class", codec.encode(state)))
         # Top-down verdict flood.
-        while True:
-            inbox = yield
-            if parent in inbox:
-                payload = inbox[parent]
-                if isinstance(payload, tuple) and payload and payload[0] == "verdict":
-                    verdict = payload[1]
-                    for child in children:
-                        ctx.send(child, ("verdict", verdict))
-                    return verdict
+        with ctx.phase("verdict-flood"):
+            if parent is None:
+                verdict = automaton.accepts(state)
+                for child in children:
+                    ctx.send(child, ("verdict", verdict))
+                return verdict
+            while True:
+                inbox = yield
+                if parent in inbox:
+                    payload = inbox[parent]
+                    if isinstance(payload, tuple) and payload and payload[0] == "verdict":
+                        verdict = payload[1]
+                        for child in children:
+                            ctx.send(child, ("verdict", verdict))
+                        return verdict
 
     return program
 
@@ -205,13 +207,18 @@ def decide(
     d: int,
     assignment: Optional[Dict[sx.Var, Any]] = None,
     budget: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DistributedDecision:
     """Run the full pipeline: Algorithm 2, then the decision convergecast.
 
     ``formula_automaton`` must be compiled for the scope matching
-    ``assignment`` (empty scope for closed formulas).
+    ``assignment`` (empty scope for closed formulas).  When a tracer is
+    given (or installed), the run is attributed to the ``elimination`` and
+    ``decision`` harness phases with the protocols' finer spans nested
+    inside.
     """
-    elim = build_elimination_tree(graph, d, budget=budget)
+    tracer = tracer if tracer is not None else current_tracer()
+    elim = build_elimination_tree(graph, d, budget=budget, tracer=tracer)
     if not elim.accepted:
         return DistributedDecision(
             accepted=False,
@@ -225,13 +232,15 @@ def decide(
     scope = formula_automaton.scope
     inputs = node_inputs_from_elimination(graph, elim, assignment, scope)
     codec = ClassCodec(formula_automaton)
-    result = run_protocol(
-        graph,
-        decision_program(formula_automaton, codec),
-        inputs=inputs,
-        budget=budget,
-        max_rounds=20 + 6 * (2 ** d) + 2 * graph.num_vertices(),
-    )
+    with maybe_phase(tracer, "decision"):
+        result = run_protocol(
+            graph,
+            decision_program(formula_automaton, codec),
+            inputs=inputs,
+            budget=budget,
+            max_rounds=20 + 6 * (2 ** d) + 2 * graph.num_vertices(),
+            tracer=tracer,
+        )
     outputs = result.outputs
     if len(set(outputs.values())) != 1:
         raise ProtocolError(f"verdicts disagree: {outputs}")

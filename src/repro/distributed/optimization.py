@@ -27,6 +27,7 @@ from ..congest import Inbox, ItemCollector, NodeContext, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
+from ..obs import Tracer, current_tracer, maybe_phase
 from .elimination import build_elimination_tree
 from .model_checking import ClassCodec, local_base_symbol, node_inputs_from_elimination
 
@@ -89,88 +90,92 @@ def optimization_program(
                 leaf_choice[state] = choice
 
         # -- receive children's tables (streamed) -------------------------
-        collector = ItemCollector("opt", children)
-        while not collector.complete:
-            inbox = yield
-            collector.absorb(inbox)
-        glue_back: List[Tuple[Vertex, Dict[Any, Tuple[Any, Any]]]] = []
-        for child in children:
-            child_table = {
-                codec.decode(class_id): weight
-                for class_id, weight in collector.items_from(child)
-            }
-            merged: Dict[Any, int] = {}
-            back: Dict[Any, Tuple[Any, Any]] = {}
-            for s1 in sorted(table, key=codec.encode):
-                for s2 in sorted(child_table, key=codec.encode):
-                    s = automaton.glue(depth, s1, s2)
-                    w = table[s1] + child_table[s2]
-                    if better(w, merged.get(s)):
-                        merged[s] = w
-                        back[s] = (s1, s2)
-            table = merged
-            glue_back.append((child, back))
-
-        forget_table: Dict[Any, int] = {}
-        forget_back: Dict[Any, Any] = {}
-        for s in sorted(table, key=codec.encode):
-            fs = automaton.forget(depth, s)
-            if better(table[s], forget_table.get(fs)):
-                forget_table[fs] = table[s]
-                forget_back[fs] = s
-
-        # -- stream table up, or decide at the root -----------------------
-        optimum: Optional[int] = None
-        if parent is not None:
-            entries = [
-                (codec.encode(s), w)
-                for s, w in sorted(
-                    forget_table.items(), key=lambda kv: codec.encode(kv[0])
-                )
-            ]
-            for class_id, weight in entries:
-                ctx.send(parent, ("opt", (class_id, weight)))
-                yield
-            ctx.send(parent, ("opt/end", None))
-            # -- wait for the top-down class pick --------------------------
-            my_class: Optional[Any] = None
-            infeasible = False
-            while my_class is None and not infeasible:
+        with ctx.phase("table-streaming"):
+            collector = ItemCollector("opt", children)
+            while not collector.complete:
                 inbox = yield
-                if parent in inbox:
-                    payload = inbox[parent]
-                    if isinstance(payload, tuple) and payload:
-                        if payload[0] == "pick":
-                            my_class = codec.decode(payload[1])
-                        elif payload[0] == "infeasible":
-                            infeasible = True
-            if infeasible:
-                for child in children:
-                    ctx.send(child, ("infeasible", None))
-                return NodeSelection(feasible=False)
-        else:
-            best: Optional[Any] = None
-            for s in sorted(forget_table, key=codec.encode):
-                if automaton.accepts(s) and better(
-                    forget_table[s], None if best is None else forget_table[best]
-                ):
-                    best = s
-            if best is None:
-                for child in children:
-                    ctx.send(child, ("infeasible", None))
-                return NodeSelection(feasible=False)
-            my_class = best
-            optimum = forget_table[best]
+                collector.absorb(inbox)
+            glue_back: List[Tuple[Vertex, Dict[Any, Tuple[Any, Any]]]] = []
+            for child in children:
+                child_table = {
+                    codec.decode(class_id): weight
+                    for class_id, weight in collector.items_from(child)
+                }
+                merged: Dict[Any, int] = {}
+                back: Dict[Any, Tuple[Any, Any]] = {}
+                for s1 in sorted(table, key=codec.encode):
+                    for s2 in sorted(child_table, key=codec.encode):
+                        s = automaton.glue(depth, s1, s2)
+                        w = table[s1] + child_table[s2]
+                        if better(w, merged.get(s)):
+                            merged[s] = w
+                            back[s] = (s1, s2)
+                table = merged
+                glue_back.append((child, back))
 
-        # -- replay local back-pointers, inform children -------------------
-        state = forget_back[my_class]
-        child_picks: Dict[Vertex, Any] = {}
-        for child, back in reversed(glue_back):
-            left, right = back[state]
-            child_picks[child] = right
-            state = left
-        for child in children:
-            ctx.send(child, ("pick", codec.encode(child_picks[child])))
+            forget_table: Dict[Any, int] = {}
+            forget_back: Dict[Any, Any] = {}
+            for s in sorted(table, key=codec.encode):
+                fs = automaton.forget(depth, s)
+                if better(table[s], forget_table.get(fs)):
+                    forget_table[fs] = table[s]
+                    forget_back[fs] = s
+
+            # -- stream the forgotten table up ------------------------------
+            if parent is not None:
+                entries = [
+                    (codec.encode(s), w)
+                    for s, w in sorted(
+                        forget_table.items(), key=lambda kv: codec.encode(kv[0])
+                    )
+                ]
+                for class_id, weight in entries:
+                    ctx.send(parent, ("opt", (class_id, weight)))
+                    yield
+                ctx.send(parent, ("opt/end", None))
+
+        # -- ARGOPT: top-down class pick + back-pointer replay -------------
+        with ctx.phase("argopt"):
+            optimum: Optional[int] = None
+            if parent is not None:
+                my_class: Optional[Any] = None
+                infeasible = False
+                while my_class is None and not infeasible:
+                    inbox = yield
+                    if parent in inbox:
+                        payload = inbox[parent]
+                        if isinstance(payload, tuple) and payload:
+                            if payload[0] == "pick":
+                                my_class = codec.decode(payload[1])
+                            elif payload[0] == "infeasible":
+                                infeasible = True
+                if infeasible:
+                    for child in children:
+                        ctx.send(child, ("infeasible", None))
+                    return NodeSelection(feasible=False)
+            else:
+                best: Optional[Any] = None
+                for s in sorted(forget_table, key=codec.encode):
+                    if automaton.accepts(s) and better(
+                        forget_table[s], None if best is None else forget_table[best]
+                    ):
+                        best = s
+                if best is None:
+                    for child in children:
+                        ctx.send(child, ("infeasible", None))
+                    return NodeSelection(feasible=False)
+                my_class = best
+                optimum = forget_table[best]
+
+            # -- replay local back-pointers, inform children ---------------
+            state = forget_back[my_class]
+            child_picks: Dict[Vertex, Any] = {}
+            for child, back in reversed(glue_back):
+                left, right = back[state]
+                child_picks[child] = right
+                state = left
+            for child in children:
+                ctx.send(child, ("pick", codec.encode(child_picks[child])))
         choice = leaf_choice[state]
         selected = choice.chosen[0]
         vertex_selected = any(not isinstance(item, tuple) for item in selected)
@@ -210,6 +215,7 @@ def optimize_distributed(
     d: int,
     maximize: bool = True,
     budget: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DistributedOptimization:
     """Run Algorithm 2 followed by the optimization protocol.
 
@@ -217,7 +223,8 @@ def optimize_distributed(
     """
     if len(automaton.scope) != 1 or not automaton.scope[0].sort.is_set:
         raise ProtocolError("optimization needs scope = one free set variable")
-    elim = build_elimination_tree(graph, d, budget=budget)
+    tracer = tracer if tracer is not None else current_tracer()
+    elim = build_elimination_tree(graph, d, budget=budget, tracer=tracer)
     if not elim.accepted:
         return DistributedOptimization(
             feasible=False,
@@ -232,13 +239,15 @@ def optimize_distributed(
         )
     inputs = node_inputs_from_elimination(graph, elim)
     codec = ClassCodec(automaton)
-    result = run_protocol(
-        graph,
-        optimization_program(automaton, codec, maximize),
-        inputs=inputs,
-        budget=budget,
-        max_rounds=500_000,  # runaway guard only; progression is data-driven
-    )
+    with maybe_phase(tracer, "optimization"):
+        result = run_protocol(
+            graph,
+            optimization_program(automaton, codec, maximize),
+            inputs=inputs,
+            budget=budget,
+            max_rounds=500_000,  # runaway guard only; progression is data-driven
+            tracer=tracer,
+        )
     selections: Dict[Vertex, NodeSelection] = result.outputs
     feasible = all(sel.feasible for sel in selections.values())
     witness: set = set()

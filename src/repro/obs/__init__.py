@@ -1,0 +1,53 @@
+"""repro.obs — instrumentation for the CONGEST stack.
+
+Structured tracing (typed events + hierarchical phase spans), per-phase /
+per-node / per-edge metrics, wall-clock profiling of the sequential hot
+paths, and exporters (JSON lines, summary tables, Chrome trace format).
+See ``docs/observability.md`` for the model and ``python -m repro trace``
+for the CLI entry point.
+"""
+
+from .events import (
+    DeliverEvent,
+    NodeHalt,
+    PhaseEnter,
+    PhaseExit,
+    RoundStart,
+    SendEvent,
+    TraceEvent,
+    event_from_dict,
+)
+from .export import (
+    chrome_trace_dict,
+    phase_table_rows,
+    read_events,
+    render_phase_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .profile import current_tracer, install_tracer, profiled, use_tracer
+from .tracer import (
+    NULL_SPAN,
+    EdgeStats,
+    NodeStats,
+    PhaseStats,
+    ProfileStat,
+    Tracer,
+)
+
+
+def maybe_phase(tracer, name: str):
+    """A harness-level phase span on ``tracer``, or a no-op when None."""
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.phase(name)
+
+
+__all__ = [
+    "DeliverEvent", "EdgeStats", "NULL_SPAN", "NodeHalt", "NodeStats",
+    "PhaseEnter", "PhaseExit", "PhaseStats", "ProfileStat", "RoundStart",
+    "SendEvent", "TraceEvent", "Tracer", "chrome_trace_dict",
+    "current_tracer", "event_from_dict", "install_tracer", "maybe_phase",
+    "phase_table_rows", "profiled", "read_events", "render_phase_table",
+    "use_tracer", "write_chrome_trace", "write_jsonl",
+]

@@ -1,0 +1,109 @@
+"""Typed trace events emitted by the :class:`repro.obs.Tracer`.
+
+Every event is an immutable dataclass with a ``kind`` discriminator and a
+``round`` stamp (the tracer's *global* round counter, monotone across the
+several Simulations of one pipeline).  Events serialize to plain JSON
+dictionaries and parse back losslessly via :func:`event_from_dict`, which
+is what the JSON-lines exporter round-trips.
+
+Vertices are stored as-is when they are JSON-native (int/str/bool/None)
+and as ``repr`` strings otherwise; message payloads and node outputs are
+always stored as ``repr`` strings — the trace is an observability artifact,
+not a transport format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Optional, Type
+
+
+def _jsonable(value: Any) -> Any:
+    """Vertices may be any hashable; keep JSON-native ones, repr the rest."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: every event happens in some (global) round."""
+
+    kind: ClassVar[str] = "event"
+    round: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {"kind": self.kind}
+        for f in fields(self):
+            data[f.name] = _jsonable(getattr(self, f.name))
+        return data
+
+
+@dataclass(frozen=True)
+class RoundStart(TraceEvent):
+    """A new synchronous round begins (``phase`` = dominant open phase)."""
+
+    kind: ClassVar[str] = "round-start"
+    phase: str
+
+
+@dataclass(frozen=True)
+class SendEvent(TraceEvent):
+    """A message queued by ``sender`` for ``receiver`` (delivered next round)."""
+
+    kind: ClassVar[str] = "send"
+    sender: Any
+    receiver: Any
+    bits: int
+    phase: str
+    payload: str = ""
+
+
+@dataclass(frozen=True)
+class DeliverEvent(TraceEvent):
+    """A message handed to ``receiver``'s inbox at the start of ``round``."""
+
+    kind: ClassVar[str] = "deliver"
+    sender: Any
+    receiver: Any
+    bits: int
+
+
+@dataclass(frozen=True)
+class NodeHalt(TraceEvent):
+    """A node's program returned; ``output`` is the repr of its result."""
+
+    kind: ClassVar[str] = "node-halt"
+    node: Any
+    output: str = ""
+
+
+@dataclass(frozen=True)
+class PhaseEnter(TraceEvent):
+    """A phase span opened (first participant entered it)."""
+
+    kind: ClassVar[str] = "phase-enter"
+    phase: str
+    node: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class PhaseExit(TraceEvent):
+    """A phase span closed (last participant left it)."""
+
+    kind: ClassVar[str] = "phase-exit"
+    phase: str
+    node: Optional[Any] = None
+
+
+_EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (RoundStart, SendEvent, DeliverEvent, NodeHalt, PhaseEnter, PhaseExit)
+}
+
+
+def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    """Inverse of :meth:`TraceEvent.to_dict` (raises ``KeyError`` on unknown kind)."""
+    cls = _EVENT_TYPES[data["kind"]]
+    kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
+    return cls(**kwargs)

@@ -1,0 +1,190 @@
+"""Exporters: JSON-lines traces, per-phase tables, Chrome trace format.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` / :func:`read_events` — the lossless event log (one
+  JSON object per line, a header line first); round-trips through
+  :func:`repro.obs.events.event_from_dict`.
+* :func:`render_phase_table` — the human-readable per-phase summary the
+  CLI prints (rounds, messages, bits, max message bits per phase path),
+  followed by wall-clock timings of profiled sequential sections.
+* :func:`chrome_trace_dict` / :func:`write_chrome_trace` — a
+  ``chrome://tracing`` / Perfetto-loadable JSON file: phase spans as B/E
+  duration events on a synthetic timeline (1 round = 1 ms), sends as
+  instant events on per-node tracks, profiled sections as complete events
+  with real durations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Union
+
+from .events import (
+    PhaseEnter,
+    PhaseExit,
+    RoundStart,
+    SendEvent,
+    TraceEvent,
+    event_from_dict,
+)
+from .tracer import Tracer
+
+_HEADER_KIND = "trace-header"
+_ROUND_US = 1000  # one synchronous round = 1ms on the Chrome timeline
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+
+def write_jsonl(tracer: Tracer, sink: IO[str]) -> int:
+    """Dump the tracer's event log as JSON lines; returns the event count."""
+    tracer.finish()
+    header = {
+        "kind": _HEADER_KIND,
+        "version": 1,
+        "rounds": tracer.round,
+        "events": len(tracer.events),
+        "truncated": tracer.truncated,
+        "phases": list(tracer.phase_stats),
+    }
+    sink.write(json.dumps(header, sort_keys=True) + "\n")
+    for event in tracer.events:
+        sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+    return len(tracer.events)
+
+
+def read_events(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Parse a JSON-lines trace back into typed events (header skipped)."""
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    events: List[TraceEvent] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        if data.get("kind") == _HEADER_KIND:
+            continue
+        events.append(event_from_dict(data))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Per-phase summary table
+# ----------------------------------------------------------------------
+
+def phase_table_rows(tracer: Tracer) -> List[List[str]]:
+    """Rows (phase, rounds, messages, bits, max bits, spans) as strings."""
+    rows = []
+    for path, stats in tracer.phase_rows():
+        rows.append([
+            path,
+            str(stats.rounds),
+            str(stats.messages),
+            str(stats.bits),
+            str(stats.max_message_bits),
+            str(stats.entries),
+        ])
+    return rows
+
+
+def _render(header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_phase_table(tracer: Tracer) -> str:
+    """The CLI's per-phase breakdown (plus profiled wall-clock sections)."""
+    tracer.finish()
+    out = ["per-phase breakdown:"]
+    rows = phase_table_rows(tracer)
+    if rows:
+        out.append(_render(
+            ["phase", "rounds", "messages", "bits", "max_bits", "spans"], rows
+        ))
+    else:
+        out.append("  (no phases recorded)")
+    if tracer.timings:
+        out.append("")
+        out.append("sequential wall-clock:")
+        trows = [
+            [name, str(stat.calls), f"{stat.seconds * 1e3:.3f}",
+             f"{stat.max_seconds * 1e3:.3f}"]
+            for name, stat in sorted(tracer.timings.items())
+        ]
+        out.append(_render(["section", "calls", "total_ms", "max_ms"], trows))
+    if tracer.truncated:
+        out.append("")
+        out.append(f"note: event log truncated at {tracer.max_events} events")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace format
+# ----------------------------------------------------------------------
+
+def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
+    """Build a ``chrome://tracing`` JSON object from the event log.
+
+    Timeline: 1 round = 1 ms of synthetic time.  Phase spans live on
+    pid 0 / tid 0; each node's sends are instant events on its own tid;
+    profiled sequential sections are complete events on pid 1 with their
+    real measured durations.
+    """
+    tracer.finish()
+    trace: List[Dict[str, Any]] = []
+    tids: Dict[Any, int] = {}
+
+    def tid_of(node: Any) -> int:
+        if node not in tids:
+            tids[node] = len(tids) + 1
+        return tids[node]
+
+    for event in tracer.events:
+        ts = event.round * _ROUND_US
+        if isinstance(event, PhaseEnter):
+            trace.append({"name": event.phase, "cat": "phase", "ph": "B",
+                          "ts": ts, "pid": 0, "tid": 0})
+        elif isinstance(event, PhaseExit):
+            trace.append({"name": event.phase, "cat": "phase", "ph": "E",
+                          "ts": ts + _ROUND_US, "pid": 0, "tid": 0})
+        elif isinstance(event, SendEvent):
+            trace.append({
+                "name": f"send {event.sender}->{event.receiver}",
+                "cat": "message", "ph": "i", "s": "t",
+                "ts": ts, "pid": 0, "tid": tid_of(event.sender),
+                "args": {"bits": event.bits, "phase": event.phase},
+            })
+        elif isinstance(event, RoundStart):
+            trace.append({"name": f"round {event.round}", "cat": "round",
+                          "ph": "i", "s": "g", "ts": ts, "pid": 0, "tid": 0,
+                          "args": {"phase": event.phase}})
+    cursor = 0
+    for name, stat in sorted(tracer.timings.items()):
+        dur = max(1, int(stat.seconds * 1e6))
+        trace.append({"name": name, "cat": "sequential", "ph": "X",
+                      "ts": cursor, "dur": dur, "pid": 1, "tid": 0,
+                      "args": {"calls": stat.calls}})
+        cursor += dur
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "congest-rounds"}},
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "sequential-wallclock"}},
+    ]
+    return {"traceEvents": metadata + trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, sink: IO[str]) -> None:
+    json.dump(chrome_trace_dict(tracer), sink)

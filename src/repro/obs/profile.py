@@ -1,0 +1,56 @@
+"""Process-global tracer installation and sequential profiling hooks.
+
+Library code deep in the stack (the algebra engine, the treedepth
+solvers) cannot be handed a tracer through every call signature, so one
+tracer can be *installed* for the current process:
+
+* ``with use_tracer(tracer): ...`` installs it for a block (the CLI
+  ``trace`` subcommand and the ``REPRO_TRACE`` env-var path do this),
+* :func:`current_tracer` is the lookup the CONGEST :class:`~repro.congest.
+  runtime.Simulation` and the distributed pipelines fall back to when no
+  tracer was passed explicitly,
+* :func:`profiled` wraps a hot sequential section; it resolves to the
+  installed tracer's wall-clock accumulator, or to the shared no-op span
+  when tracing is off — the disabled path is one global read and one
+  ``is None`` test, no allocation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .tracer import NULL_SPAN, Tracer
+
+_installed: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The process-installed tracer, or None when tracing is off."""
+    return _installed
+
+
+def install_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` globally; returns the previously installed one."""
+    global _installed
+    previous = _installed
+    _installed = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of the block."""
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)
+
+
+def profiled(name: str):
+    """Wall-clock span around a sequential hot path (no-op when disabled)."""
+    tracer = _installed
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.profile(name)

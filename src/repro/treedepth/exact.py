@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..graph import Graph, Vertex
+from ..obs.profile import profiled
 from .elimination import EliminationForest
 
 ParentMap = Dict[Vertex, Optional[Vertex]]
@@ -68,7 +69,8 @@ class _TreedepthSolver:
     def solve(self) -> Tuple[int, ParentMap]:
         if self._graph.num_vertices() == 0:
             return 0, {}
-        return self._solve(frozenset(self._graph.vertices()))
+        with profiled("treedepth.exact"):
+            return self._solve(frozenset(self._graph.vertices()))
 
     def _solve(self, vs: FrozenSet[Vertex]) -> Tuple[int, ParentMap]:
         if vs in self._memo:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from ..errors import DecompositionError
 from ..graph import Graph, Vertex
+from ..obs.profile import profiled
 from .elimination import EliminationForest, forest_from_order
 
 
@@ -115,9 +116,12 @@ def greedy_elimination_forest(graph: Graph) -> EliminationForest:
 
 def best_heuristic_forest(graph: Graph) -> EliminationForest:
     """The shallowest forest among the implemented heuristics."""
-    candidates = [dfs_elimination_forest(graph), greedy_elimination_forest(graph)]
-    from ..graph.properties import is_acyclic
+    with profiled("treedepth.heuristic_search"):
+        candidates = [
+            dfs_elimination_forest(graph), greedy_elimination_forest(graph)
+        ]
+        from ..graph.properties import is_acyclic
 
-    if is_acyclic(graph):
-        candidates.append(centroid_elimination_forest(graph))
-    return min(candidates, key=lambda f: f.depth())
+        if is_acyclic(graph):
+            candidates.append(centroid_elimination_forest(graph))
+        return min(candidates, key=lambda f: f.depth())
