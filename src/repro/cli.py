@@ -24,6 +24,7 @@ writes the JSON-lines trace to ``PATH``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
@@ -270,6 +271,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import RULES, LintError, check_paths
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.code}  {rule.name:16} {rule.summary}")
+        return 0
+    if not args.paths:
+        print("repro lint: no paths given (try: repro lint src/repro)",
+              file=sys.stderr)
+        return 2
+    select = None
+    if args.select:
+        select = [c for chunk in args.select for c in chunk.split(",") if c]
+    try:
+        findings = check_paths(args.paths, select=select)
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "findings": [f.to_dict() for f in findings],
+                "count": len(findings),
+            },
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.format())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro lint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
 def _cmd_catalog(_args: argparse.Namespace) -> int:
     print("decision formulas:")
     for name in sorted(_CATALOG):
@@ -336,6 +372,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cat = sub.add_parser("catalog", help="list built-in formulas")
     p_cat.set_defaults(func=_cmd_catalog)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="CONGEST-conformance static analysis of node programs",
+        description="Statically checks node programs for locality (RL001), "
+        "determinism (RL002), round-structure (RL003), and payload-typing "
+        "(RL004) violations.  Suppress a finding with '# repro: noqa[RL00x]' "
+        "on the offending line.  Exits 1 if any finding remains.",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories to analyze")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (default text)")
+    p_lint.add_argument("--select", action="append", metavar="CODES",
+                        help="only run these rule codes (comma-separated, "
+                        "repeatable)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_trace = sub.add_parser(
         "trace",

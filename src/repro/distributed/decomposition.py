@@ -19,13 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
-from ..congest import Inbox, NodeContext, run_protocol
+from ..congest import Inbox, NodeContext, node_program, run_protocol
 from ..errors import ProtocolError
 from ..expansion import LowTreedepthDecomposition
 from ..graph import Graph, Vertex
 from ..obs import Tracer, current_tracer, maybe_phase
 
 
+@node_program
 def grid_coloring_program(ctx: NodeContext) -> Generator[None, Inbox, Optional[int]]:
     """Compute the residue color locally; verify neighbor coordinates.
 

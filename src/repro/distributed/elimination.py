@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ..congest import Inbox, NodeContext, leader_election, run_protocol
+from ..congest import Inbox, NodeContext, leader_election, node_program, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex
 from ..obs import Tracer, current_tracer, maybe_phase
@@ -46,6 +46,7 @@ class EliminationOutput:
     anc_edge_positions: Tuple[int, ...] = ()
 
 
+@node_program
 def elimination_tree_program(
     ctx: NodeContext,
 ) -> Generator[None, Inbox, EliminationOutput]:
@@ -190,6 +191,8 @@ def build_elimination_tree(
     d: int,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    inbox_order: str = "arrival",
+    seed: Optional[int] = None,
 ) -> DistributedEliminationResult:
     """Run Algorithm 2 on ``graph`` with treedepth bound ``d``.
 
@@ -197,6 +200,8 @@ def build_elimination_tree(
     when every node accepted, or ``accepted=False`` when some node reported
     td(G) > d.  Rounds and traffic land under the ``elimination`` phase of
     ``tracer`` (explicit or process-installed) when tracing is on.
+    ``inbox_order`` / ``seed`` select an adversarial message delivery order
+    (see :class:`~repro.congest.runtime.Simulation`).
     """
     if not graph.is_connected():
         raise ProtocolError("CONGEST requires a connected network")
@@ -210,6 +215,8 @@ def build_elimination_tree(
             budget=budget,
             max_rounds=200 + 40 * (4 ** d) + 4 * graph.num_vertices(),
             tracer=tracer,
+            inbox_order=inbox_order,
+            seed=seed,
         )
     outputs: Dict[Vertex, EliminationOutput] = result.outputs
     accepted = all(out.status == "ok" for out in outputs.values())

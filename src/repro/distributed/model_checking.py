@@ -28,7 +28,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import BaseStructure, BaseSymbol
-from ..congest import Inbox, NodeContext, run_protocol
+from ..congest import Inbox, NodeContext, node_program, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
@@ -88,6 +88,7 @@ def local_base_symbol(ctx: NodeContext, scope: Tuple[sx.Var, ...]) -> BaseSymbol
 def decision_program(automaton: TreeAutomaton, codec: ClassCodec):
     """Node program factory for the bottom-up decision convergecast."""
 
+    @node_program
     def program(ctx: NodeContext) -> Generator[None, Inbox, bool]:
         depth: int = ctx.input["depth"]
         children: Tuple[Vertex, ...] = tuple(ctx.input["children"])
@@ -120,7 +121,8 @@ def decision_program(automaton: TreeAutomaton, codec: ClassCodec):
             if parent is None:
                 verdict = automaton.accepts(state)
                 for child in children:
-                    ctx.send(child, ("verdict", verdict))
+                    # Children still yield awaiting the verdict flood.
+                    ctx.send(child, ("verdict", verdict))  # repro: noqa[RL003]
                 return verdict
             while True:
                 inbox = yield
@@ -208,6 +210,8 @@ def decide(
     assignment: Optional[Dict[sx.Var, Any]] = None,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    inbox_order: str = "arrival",
+    seed: Optional[int] = None,
 ) -> DistributedDecision:
     """Run the full pipeline: Algorithm 2, then the decision convergecast.
 
@@ -215,10 +219,14 @@ def decide(
     ``assignment`` (empty scope for closed formulas).  When a tracer is
     given (or installed), the run is attributed to the ``elimination`` and
     ``decision`` harness phases with the protocols' finer spans nested
-    inside.
+    inside.  ``inbox_order`` / ``seed`` select an adversarial delivery
+    order for both phases (see :class:`~repro.congest.runtime.Simulation`).
     """
     tracer = tracer if tracer is not None else current_tracer()
-    elim = build_elimination_tree(graph, d, budget=budget, tracer=tracer)
+    elim = build_elimination_tree(
+        graph, d, budget=budget, tracer=tracer,
+        inbox_order=inbox_order, seed=seed,
+    )
     if not elim.accepted:
         return DistributedDecision(
             accepted=False,
@@ -240,6 +248,8 @@ def decide(
             budget=budget,
             max_rounds=20 + 6 * (2 ** d) + 2 * graph.num_vertices(),
             tracer=tracer,
+            inbox_order=inbox_order,
+            seed=seed,
         )
     outputs = result.outputs
     if len(set(outputs.values())) != 1:

@@ -23,7 +23,7 @@ from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
 
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import SymbolChoice, enumerate_symbol_choices
-from ..congest import Inbox, ItemCollector, NodeContext, run_protocol
+from ..congest import Inbox, ItemCollector, NodeContext, node_program, run_protocol
 from ..errors import ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
@@ -51,6 +51,7 @@ def optimization_program(
     sign = 1 if maximize else -1
     var = automaton.scope[0]
 
+    @node_program
     def program(ctx: NodeContext) -> Generator[None, Inbox, NodeSelection]:
         depth: int = ctx.input["depth"]
         children: Tuple[Vertex, ...] = tuple(ctx.input["children"])
@@ -151,7 +152,8 @@ def optimization_program(
                                 infeasible = True
                 if infeasible:
                     for child in children:
-                        ctx.send(child, ("infeasible", None))
+                        # Children still yield awaiting pick/infeasible.
+                        ctx.send(child, ("infeasible", None))  # repro: noqa[RL003]
                     return NodeSelection(feasible=False)
             else:
                 best: Optional[Any] = None
@@ -162,7 +164,8 @@ def optimization_program(
                         best = s
                 if best is None:
                     for child in children:
-                        ctx.send(child, ("infeasible", None))
+                        # Children still yield awaiting pick/infeasible.
+                        ctx.send(child, ("infeasible", None))  # repro: noqa[RL003]
                     return NodeSelection(feasible=False)
                 my_class = best
                 optimum = forget_table[best]
@@ -175,7 +178,8 @@ def optimization_program(
                 child_picks[child] = right
                 state = left
             for child in children:
-                ctx.send(child, ("pick", codec.encode(child_picks[child])))
+                # Children still yield awaiting their pick, so this delivers.
+                ctx.send(child, ("pick", codec.encode(child_picks[child])))  # repro: noqa[RL003]
         choice = leaf_choice[state]
         selected = choice.chosen[0]
         vertex_selected = any(not isinstance(item, tuple) for item in selected)

@@ -39,6 +39,22 @@ class CongestError(ReproError):
     """CONGEST model violation or simulator misuse."""
 
 
+class PayloadTypeError(CongestError):
+    """A message payload contains a value outside the Payload algebra.
+
+    ``path`` names the offending sub-value (e.g. ``payload[2][0]``) so the
+    error points at the exact culprit inside a nested container.
+    """
+
+    def __init__(self, path: str, type_name: str, hint: str = ""):
+        self.path = path
+        self.type_name = type_name
+        message = f"{path}: {type_name} is not CONGEST-serializable"
+        if hint:
+            message += f" ({hint})"
+        super().__init__(message)
+
+
 class MessageTooLargeError(CongestError):
     """A single-round message exceeded the per-edge bit budget."""
 

@@ -1,0 +1,45 @@
+"""repro.lint — CONGEST-conformance static analysis for node programs.
+
+Rules
+-----
+RL001  locality        node code sees the network only through ``ctx``
+RL002  determinism     no set/dict-order, unseeded-random, or id()/hash()
+                       dependence in payloads, outputs, or control flow
+RL003  round-structure sends need a reachable yield; one send per neighbor
+                       per round; message-producing loops must yield
+RL004  payload-typing  payloads stay inside the Payload algebra
+
+Suppress a finding with ``# repro: noqa[RL003]`` on the offending line
+(bare ``# repro: noqa`` suppresses every rule).  The adversarial
+``Simulation(..., inbox_order="shuffle", seed=...)`` mode is the dynamic
+cross-check for RL002.
+"""
+
+from .analyzer import (
+    LintError,
+    check_module,
+    check_paths,
+    check_program,
+    check_registered,
+    check_source,
+    discover_programs,
+    is_node_program,
+    iter_python_files,
+)
+from .findings import Finding
+from .rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "RULES",
+    "Rule",
+    "check_module",
+    "check_paths",
+    "check_program",
+    "check_registered",
+    "check_source",
+    "discover_programs",
+    "is_node_program",
+    "iter_python_files",
+]

@@ -1,0 +1,191 @@
+"""Program discovery and the programmatic lint entry points.
+
+The analyzer is purely static: it parses source text, finds node
+programs (``@node_program``-decorated functions, or generator functions
+taking a ``ctx`` / ``NodeContext`` parameter), and runs every registered
+rule over each.  ``# repro: noqa[RL00x]`` comments on the offending line
+suppress findings; a bare ``# repro: noqa`` suppresses all rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CongestError
+from .astutils import ModuleInfo, ProgramInfo, contains_yield, _annotation_names
+from .findings import Finding
+from .rules import RULES
+
+
+class LintError(CongestError):
+    """Raised when a path cannot be analyzed (missing, unparseable)."""
+
+
+def _decorator_names(func: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for dec in func.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _takes_ctx(func: ast.FunctionDef) -> bool:
+    args = func.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if arg.arg == "ctx" or "NodeContext" in _annotation_names(arg.annotation):
+            return True
+    return False
+
+
+def is_node_program(func: ast.AST) -> bool:
+    """Syntactic test: is this function definition a node program?"""
+    if not isinstance(func, ast.FunctionDef):
+        return False
+    if "node_program" in _decorator_names(func):
+        return True
+    return contains_yield(func) and _takes_ctx(func)
+
+
+def discover_programs(module: ModuleInfo) -> List[ProgramInfo]:
+    """All node programs in a module, with factory-closure qualnames."""
+    programs: List[ProgramInfo] = []
+
+    def visit(node: ast.AST, stack: List[ast.FunctionDef], qual: List[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                # Methods are not node programs; don't descend.
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                parts = qual + (
+                    ["<locals>", child.name] if stack else [child.name]
+                )
+                if is_node_program(child):
+                    programs.append(
+                        ProgramInfo(
+                            module=module,
+                            node=child,
+                            qualname=".".join(parts),
+                            enclosing=list(stack),
+                        )
+                    )
+                if isinstance(child, ast.FunctionDef):
+                    visit(child, stack + [child], parts)
+                continue
+            visit(child, stack, qual)
+
+    visit(module.tree, [], [])
+    return programs
+
+
+def _selected_rules(select: Optional[Sequence[str]]):
+    if select is None:
+        return list(RULES.values())
+    wanted = {code.upper() for code in select}
+    unknown = wanted - set(RULES)
+    if unknown:
+        raise LintError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [RULES[code] for code in sorted(wanted)]
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint source text; findings are sorted and noqa-filtered."""
+    try:
+        module = ModuleInfo.from_source(source, path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    findings: List[Finding] = []
+    for program in discover_programs(module):
+        for rule in _selected_rules(select):
+            for finding in rule.check(program):
+                if not module.suppressed(finding.line, finding.code):
+                    findings.append(finding)
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def check_module(
+    path: str, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint one ``.py`` file."""
+    try:
+        source = Path(path).read_text()
+    except OSError as exc:
+        raise LintError(f"{path}: cannot read: {exc}") from exc
+    return check_source(source, path=str(path), select=select)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(str(p) for p in sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" or path.is_file():
+            out.append(str(path))
+        else:
+            raise LintError(f"{raw}: not a file or directory")
+    seen: Set[str] = set()
+    unique = []
+    for p in out:
+        key = os.path.normpath(p)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def check_paths(
+    paths: Iterable[str], select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_module(path, select=select))
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def check_program(
+    func: Callable, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint one live function object (resolved back to its source file)."""
+    target = inspect.unwrap(func)
+    try:
+        path = inspect.getsourcefile(target)
+    except TypeError:
+        path = None
+    if path is None:
+        raise LintError(f"{func!r}: source file not found")
+    qualname = target.__qualname__
+    return [
+        f for f in check_module(path, select=select) if f.program == qualname
+    ]
+
+
+def check_registered(select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint every program currently in the ``@node_program`` registry."""
+    from ..congest.registry import iter_registered
+
+    findings: List[Finding] = []
+    seen_paths: Set[str] = set()
+    for _, func in iter_registered():
+        target = inspect.unwrap(func)
+        try:
+            path = inspect.getsourcefile(target)
+        except TypeError:
+            path = None
+        if path is None or path in seen_paths:
+            continue
+        seen_paths.add(path)
+        findings.extend(check_module(path, select=select))
+    return sorted(findings, key=lambda f: f.sort_key)

@@ -1,0 +1,43 @@
+"""Finding objects produced by the CONGEST-conformance analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``program`` is the qualified name of the node program the finding was
+    raised in (e.g. ``decision_program.<locals>.program``), so findings in
+    factory-made closures point at the closure, not just the file.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    program: str
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message} [{self.program}]"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "program": self.program,
+        }

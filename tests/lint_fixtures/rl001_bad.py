@@ -1,0 +1,31 @@
+"""RL001 golden fixture: every finding here is a locality violation.
+
+This file is parsed by the linter, never imported.
+"""
+
+from repro.congest import NodeContext, node_program
+from repro.graph import Graph
+
+WORLD = Graph()
+CACHE = {}
+
+
+def make(graph: Graph):
+    @node_program
+    def program(ctx: NodeContext):
+        degree = len(graph.neighbors(ctx.node))  # closure Graph
+        CACHE[ctx.node] = degree  # module-level mutable state
+        n = WORLD.num_vertices()  # module-level Graph
+        sim = ctx._simulation  # simulator internals
+        global TOTAL  # rebinding module state
+        TOTAL = degree + n + len(str(sim))
+        yield
+        return degree
+
+    return program
+
+
+@node_program
+def param_program(ctx: NodeContext, graph: Graph):  # Graph parameter
+    yield
+    return graph.num_vertices()

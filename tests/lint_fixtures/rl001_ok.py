@@ -1,0 +1,18 @@
+"""RL001 near-miss fixture: closure constants and ctx access are fine."""
+
+from repro.congest import NodeContext, node_program
+
+PERIOD = 7  # immutable module constant: fine
+
+
+def make(automaton, codec):
+    table = {"a": 1}  # closure-level common-knowledge table: fine
+
+    @node_program
+    def program(ctx: NodeContext):
+        total = table["a"] + len(ctx.neighbors) + PERIOD
+        ctx.send_all(("v", total))
+        inbox = yield
+        return total + len(inbox)
+
+    return program

@@ -1,0 +1,20 @@
+"""RL002 golden fixture: order/randomness/identity nondeterminism."""
+
+import random
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    nonce = random.randrange(10)  # unseeded global randomness
+    token = hash(ctx.node)  # process-dependent identity
+    peers = set(ctx.neighbors)
+    first = next(iter(peers))  # materializes set order
+    ctx.send_all(("pick", first, nonce, token))
+    inbox = yield
+    best = None
+    for sender, payload in inbox.items():  # unordered iteration
+        if payload:
+            best = payload  # keeps the last match: order-dependent
+    return best

@@ -1,0 +1,28 @@
+"""RL002 near-miss fixture: folds, guards, and cleansed order are fine."""
+
+import random
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    rng = random.Random(ctx.node * 7919)  # seeded instance: fine
+    peers = set(ctx.neighbors)
+    low = min(peers)  # order-insensitive reduction
+    ctx.send_all(("low", low, rng.randrange(4)))
+    inbox = yield
+    best = None
+    for sender, payload in sorted(inbox.items()):  # cleansed iteration
+        if payload:
+            best = payload
+    count = 0
+    smallest = None
+    saw_any = False
+    for payload in inbox.values():
+        count = count + 1  # fold reads its own target
+        if smallest is None or payload < smallest:
+            smallest = payload  # min-fold guard reads the target
+        if payload:
+            saw_any = True  # constant result: any-fold
+    return (low, best, count, smallest, saw_any)

@@ -1,0 +1,19 @@
+"""RL003 golden fixture: round-structure violations."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    parent = ctx.input["parent"]
+    for _ in range(3):
+        ctx.send(parent, ("tick", 1))  # same target every iteration, no yield
+    inbox = yield
+    ctx.send(parent, ("a", 1))
+    ctx.send(parent, ("b", 2))  # second send to parent this round
+    yield
+    ctx.send_all(("x", 1))
+    ctx.send(parent, ("y", 2))  # overlaps the send_all this round
+    yield
+    ctx.send(parent, ("done", None))  # no yield left: never delivered
+    return len(inbox)

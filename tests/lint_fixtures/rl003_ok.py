@@ -1,0 +1,16 @@
+"""RL003 near-miss fixture: broadcast loops and yielding loops are fine."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    children = tuple(ctx.input["children"])
+    for child in children:
+        ctx.send(child, ("go", 1))  # distinct per-iteration targets
+    inbox = yield
+    while True:
+        ctx.send_all(("beat", 1))  # the loop yields every iteration
+        inbox = yield
+        if inbox:
+            return len(inbox)

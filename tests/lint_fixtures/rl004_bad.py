@@ -1,0 +1,15 @@
+"""RL004 golden fixture: payloads outside the Payload algebra."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    weights = [1, 2, 3]
+    ctx.send_all(("w", weights))  # list through a name
+    yield
+    ctx.send_all((1.5, {"a": 1}))  # float constant, dict literal
+    yield
+    ctx.send_all((len(ctx.neighbors) / 2,))  # true division makes a float
+    yield
+    return None

@@ -1,0 +1,13 @@
+"""RL004 near-miss fixture: the whole Payload algebra, nothing else."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    payload = ("ok", 3, frozenset((1, 2)), None, True)
+    ctx.send_all(payload)
+    yield
+    ctx.send_all((len(ctx.neighbors) // 2, "s"))  # floor division stays int
+    yield
+    return None
