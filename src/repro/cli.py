@@ -9,6 +9,8 @@ Commands
 ``certify``   produce and verify certification (proof labeling)
 ``catalog``   list the built-in formula catalog
 ``trace``     run any command above with instrumentation enabled
+``faults``    replay a fault-injection plan against the CONGEST pipeline
+``lint``      CONGEST-conformance static analysis of node programs
 
 Graphs are given either as a generator spec (``path:20``, ``cycle:8``,
 ``grid:4x6``, ``clique:5``, ``star:7``, ``bounded:24:3:0.5:42`` for
@@ -306,6 +308,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .errors import FaultToleranceExceeded
+    from .faults import FaultPlan, RetryPolicy
+
+    graph = parse_graph_spec(_graph_spec(args))
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        plan = FaultPlan(seed=args.fault_seed, drop_rate=args.drop_rate)
+    if args.formula:
+        args.catalog = None  # an explicit formula beats the catalog default
+    formula = _resolve_formula(args)
+    automaton = compile_formula(formula, ())
+    retry = RetryPolicy(attempts=args.retries) if args.retries > 0 else None
+    tracer = Tracer() if args.jsonl else None
+    print(f"plan: {plan.describe()}")
+    if retry is not None:
+        print(f"retry: {retry.attempts} copies per logical round")
+    try:
+        outcome = decide(
+            automaton, graph, d=args.d, tracer=tracer,
+            seed=args.seed, faults=plan, retry=retry,
+        )
+    except FaultToleranceExceeded as exc:
+        print(f"fault tolerance exceeded: {exc}")
+        _write_fault_trace(tracer, args.jsonl)
+        return 3
+    _write_fault_trace(tracer, args.jsonl)
+    if outcome.treedepth_exceeded:
+        print(f"treedepth exceeded: td(G) > {args.d}")
+        return 2
+    print(f"result: {outcome.accepted}")
+    print(f"rounds: {outcome.total_rounds} "
+          f"(tree {outcome.elimination_rounds} + check {outcome.checking_rounds})")
+    print(f"max message bits: {outcome.max_message_bits}")
+    return 0 if outcome.accepted else 1
+
+
+def _write_fault_trace(tracer: Optional[Tracer], path: Optional[str]) -> None:
+    if tracer is None or not path:
+        return
+    tracer.finish()
+    with open(path, "w", encoding="utf-8") as handle:
+        written = write_jsonl(tracer, handle)
+    print(f"trace: {written} events -> {path}")
+    if tracer.fault_counts:
+        injected = ", ".join(
+            f"{kind}:{count}"
+            for kind, count in sorted(tracer.fault_counts.items())
+        )
+        print(f"injected: {injected}")
+
+
 def _cmd_catalog(_args: argparse.Namespace) -> int:
     print("decision formulas:")
     for name in sorted(_CATALOG):
@@ -377,9 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="CONGEST-conformance static analysis of node programs",
         description="Statically checks node programs for locality (RL001), "
-        "determinism (RL002), round-structure (RL003), and payload-typing "
-        "(RL004) violations.  Suppress a finding with '# repro: noqa[RL00x]' "
-        "on the offending line.  Exits 1 if any finding remains.",
+        "determinism (RL002), round-structure (RL003), payload-typing "
+        "(RL004), and unbounded-retry (RL005) violations.  Suppress a "
+        "finding with '# repro: noqa[RL00x]' on the offending line.  "
+        "Exits 1 if any finding remains.",
     )
     p_lint.add_argument("paths", nargs="*",
                         help="files or directories to analyze")
@@ -391,6 +448,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="replay a fault plan against the distributed decision pipeline",
+        description="Runs the full CONGEST decision pipeline (Algorithm 2 + "
+        "the decision convergecast) under a seeded fault plan.  Exit codes: "
+        "0 accepted, 1 rejected, 2 treedepth exceeded, 3 fault tolerance "
+        "exceeded (the run failed closed).  Replays are deterministic: the "
+        "same plan JSON, graph, seed, and retry policy reproduce the same "
+        "faults and the same outcome.",
+    )
+    add_graph(p_faults)
+    p_faults.add_argument("--plan", default=None, metavar="PATH",
+                          help="fault plan JSON (see FaultPlan.to_json); "
+                          "omit to build one from --drop-rate/--fault-seed")
+    p_faults.add_argument("--drop-rate", type=float, default=0.0,
+                          help="ad-hoc plan: per-message drop probability "
+                          "(ignored when --plan is given)")
+    p_faults.add_argument("--fault-seed", type=int, default=0,
+                          help="ad-hoc plan: injector seed (default 0)")
+    p_faults.add_argument("--retries", type=int, default=0, metavar="N",
+                          help="wrap protocols in the redundancy-lockstep "
+                          "synchronizer with N copies per logical round "
+                          "(0 = no reliability layer)")
+    p_faults.add_argument("--d", type=int, default=3,
+                          help="treedepth promise (default 3)")
+    p_faults.add_argument("--seed", type=int, default=None,
+                          help="inbox-order seed for the simulator")
+    p_faults.add_argument("--catalog", default="triangle-free",
+                          help="catalog formula name (default triangle-free)")
+    p_faults.add_argument("--formula", help="an MSO formula in text syntax")
+    p_faults.add_argument("--free", nargs="*",
+                          help="free variable declarations name:SORT")
+    p_faults.add_argument("--jsonl", default=None, metavar="PATH",
+                          help="write the fault-event trace as JSON lines")
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_trace = sub.add_parser(
         "trace",

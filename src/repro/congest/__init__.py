@@ -10,6 +10,8 @@ from .primitives import (
     idle,
     leader_election,
     ordered_inbox,
+    reliable_recv,
+    reliable_send,
     send_items_to,
 )
 from .registry import iter_registered, node_program, registered_programs
@@ -30,6 +32,6 @@ __all__ = [
     "broadcast_from_root", "check_payload", "default_budget",
     "exchange_with_neighbors", "flood_value", "fragment_payload", "idle",
     "int_bits", "iter_registered", "leader_election", "node_program",
-    "ordered_inbox", "payload_bits", "registered_programs", "run_protocol",
-    "send_items_to",
+    "ordered_inbox", "payload_bits", "registered_programs", "reliable_recv",
+    "reliable_send", "run_protocol", "send_items_to",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -19,6 +19,13 @@ class RoundMetrics:
     ``undelivered_messages`` counts messages queued in the final sweep
     after every node had halted — a send no receiver could ever observe,
     i.e. a round-structure bug in the protocol (lint rule RL003).
+
+    Fault-injection bookkeeping (see :mod:`repro.faults`):
+    ``faults_injected`` counts injected faults by trace-event kind (e.g.
+    ``fault-drop``); ``retransmissions`` counts redundant copies sent by
+    the reliability layer (:func:`repro.faults.reliable_program` and
+    :func:`repro.congest.primitives.reliable_send`) — zero on faultless
+    runs without a reliability wrapper.
     """
 
     budget_bits: int
@@ -30,11 +37,23 @@ class RoundMetrics:
     per_round_bits: List[int] = field(default_factory=list)
     trace_truncated: bool = False
     undelivered_messages: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    retransmissions: int = 0
 
     def record_round(self) -> None:
         self.rounds += 1
         self.per_round_messages.append(0)
         self.per_round_bits.append(0)
+
+    def record_fault(self, kind: str) -> None:
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
+    def record_retry(self, count: int = 1) -> None:
+        self.retransmissions += count
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_injected.values())
 
     def record_message(self, bits: int) -> None:
         self.total_messages += 1
@@ -71,4 +90,11 @@ class RoundMetrics:
             text += " trace_truncated=True"
         if self.undelivered_messages:
             text += f" undelivered={self.undelivered_messages}"
+        if self.faults_injected:
+            text += " faults=" + ",".join(
+                f"{kind}:{count}"
+                for kind, count in sorted(self.faults_injected.items())
+            )
+        if self.retransmissions:
+            text += f" retransmissions={self.retransmissions}"
         return text

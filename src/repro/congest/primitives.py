@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
-from ..errors import ProtocolError
+from ..errors import FaultToleranceExceeded, ProtocolError
 from ..graph import Vertex
 from .messages import Payload
 from .runtime import Inbox, NodeContext
@@ -144,6 +144,96 @@ def send_items_to(
     ctx.send(target, (tag + "/end", None))
     observed.append((yield))
     return observed
+
+
+def reliable_send(
+    ctx: NodeContext,
+    target: Vertex,
+    payload: Payload,
+    tag: str = "rel",
+    max_retries: Optional[int] = None,
+    backoff: int = 2,
+) -> Generator[None, Inbox, int]:
+    """Send ``payload`` to ``target``, retransmitting until acknowledged.
+
+    The point-to-point reliability primitive for lossy substrates (see
+    :mod:`repro.faults`): transmit ``(tag, payload)``, wait an
+    exponentially growing window of rounds for ``(tag + "/ack",)`` from
+    ``target`` (the partner runs :func:`reliable_recv`), and retransmit on
+    timeout.  The first window is 2 rounds — the minimum round trip — and
+    each retry multiplies it by ``backoff``.  Returns the number of
+    retransmissions (0 on a clean first delivery), each also counted in
+    ``metrics.retransmissions`` via ``ctx.record_retry``.
+
+    ``max_retries=None`` waits forever: under persistent loss (or a crashed
+    partner) the node — and with it the whole synchronous network — stalls
+    until ``max_rounds``.  Lint rule RL005 flags such unbounded calls;
+    pass a finite bound to fail closed with
+    :class:`~repro.errors.FaultToleranceExceeded` instead.
+    """
+    if backoff < 1:
+        raise ProtocolError("reliable_send backoff must be >= 1")
+    ack = tag + "/ack"
+    retries = 0
+    window = 2
+    while True:
+        ctx.send(target, (tag, payload))
+        if retries:
+            ctx.record_retry()
+        for _ in range(window):
+            inbox = yield
+            got = inbox.get(target)
+            if isinstance(got, tuple) and got and got[0] == ack:
+                return retries
+        if max_retries is not None and retries >= max_retries:
+            raise FaultToleranceExceeded(
+                f"node {ctx.node!r}: no ack from {target!r} after "
+                f"{retries} retransmissions (tag {tag!r})",
+                node=ctx.node,
+                round=ctx.round_number,
+            )
+        retries += 1
+        window *= backoff
+
+
+def reliable_recv(
+    ctx: NodeContext,
+    source: Vertex,
+    tag: str = "rel",
+    max_rounds: Optional[int] = None,
+    linger: int = 0,
+) -> Generator[None, Inbox, Payload]:
+    """Receive one :func:`reliable_send` payload from ``source``, acking it.
+
+    Waits for ``(tag, payload)``, answers ``(tag + "/ack",)``, and returns
+    the payload.  ``linger`` extra rounds re-ack late retransmitted copies
+    (an ack can itself be lost); ``max_rounds`` bounds the wait, failing
+    closed with :class:`~repro.errors.FaultToleranceExceeded` when the
+    sender never gets through.
+    """
+    ack = tag + "/ack"
+    waited = 0
+    while True:
+        inbox = yield
+        waited += 1
+        got = inbox.get(source)
+        if isinstance(got, tuple) and len(got) == 2 and got[0] == tag:
+            break
+        if max_rounds is not None and waited >= max_rounds:
+            raise FaultToleranceExceeded(
+                f"node {ctx.node!r}: nothing from {source!r} within "
+                f"{max_rounds} rounds (tag {tag!r})",
+                node=ctx.node,
+                round=ctx.round_number,
+            )
+    payload = got[1]
+    ctx.send(source, (ack,))  # repro: noqa[RL003] — caller keeps yielding
+    for _ in range(linger):
+        inbox = yield
+        late = inbox.get(source)
+        if isinstance(late, tuple) and len(late) == 2 and late[0] == tag:
+            ctx.send(source, (ack,))  # repro: noqa[RL003]
+    return payload
 
 
 class ItemCollector:

@@ -24,10 +24,15 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from ..errors import CongestError, MessageTooLargeError, ProtocolError
+from ..errors import (
+    CongestError,
+    FaultToleranceExceeded,
+    MessageTooLargeError,
+    ProtocolError,
+)
 from ..graph import Graph, Vertex
 from ..obs import NULL_SPAN, Tracer, current_tracer
 from .messages import Payload, payload_bits
@@ -81,7 +86,22 @@ class NodeContext:
 
     @property
     def budget(self) -> int:
-        return self._simulation.metrics.budget_bits
+        """This round's effective per-edge budget.
+
+        Equal to the simulation-wide budget unless a fault plan with
+        ``budget_jitter`` is active, in which case it is what
+        :meth:`send` will actually enforce this round.
+        """
+        return self._simulation._round_budget
+
+    def record_retry(self, count: int = 1) -> None:
+        """Count ``count`` redundant transmissions in the run's metrics.
+
+        Used by reliability layers (:func:`repro.faults.reliable_program`,
+        :func:`repro.congest.primitives.reliable_send`) so retransmission
+        overhead is visible in :class:`~repro.congest.metrics.RoundMetrics`.
+        """
+        self._simulation.metrics.record_retry(count)
 
     def phase(self, name: str):
         """Open a named per-node phase span on the simulation's tracer.
@@ -108,14 +128,34 @@ class NodeContext:
 
 @dataclass
 class SimulationResult:
-    """Final outputs and metrics of a run."""
+    """Final outputs and metrics of a run, plus what it takes to replay it.
+
+    ``seed``, ``inbox_order``, and ``fault_plan`` echo the knobs that (with
+    the graph, program, and inputs) fully determine the execution —
+    :meth:`replay_args` packages them for a reproducing ``Simulation``.
+    ``crashed`` maps each node killed by fault injection to the round its
+    crash fired in (empty without faults); crashed nodes never appear in
+    ``outputs``.
+    """
 
     outputs: Dict[Vertex, Any]
     metrics: RoundMetrics
+    seed: Optional[int] = None
+    inbox_order: str = "arrival"
+    fault_plan: Optional[Any] = None
+    crashed: Dict[Vertex, int] = field(default_factory=dict)
 
     @property
     def rounds(self) -> int:
         return self.metrics.rounds
+
+    def replay_args(self) -> Dict[str, Any]:
+        """Keyword arguments reproducing this run's schedule and faults."""
+        return {
+            "seed": self.seed,
+            "inbox_order": self.inbox_order,
+            "faults": self.fault_plan,
+        }
 
     @property
     def undelivered(self) -> int:
@@ -155,6 +195,13 @@ class Simulation:
       ``repro lint`` RL002 determinism rule;
     * ``"sorted"`` / ``"reversed"`` — deterministic extreme orders, cheap
       adversaries that need no seed.
+
+    ``faults`` accepts a :class:`repro.faults.FaultPlan`: a seeded
+    adversary that drops / duplicates / delays / truncates queued messages,
+    jitters the per-round budget, and crashes (optionally restarts) nodes
+    on schedule.  Every injected fault is counted in
+    ``metrics.faults_injected`` and emitted as a typed trace event.  A null
+    plan (all rates zero, no crashes) is byte-for-byte transparent.
     """
 
     def __init__(
@@ -169,6 +216,7 @@ class Simulation:
         tracer: Optional[Tracer] = None,
         inbox_order: str = "arrival",
         seed: Optional[int] = None,
+        faults: Optional[Any] = None,
     ):
         if graph.num_vertices() == 0:
             raise CongestError("CONGEST needs at least one node")
@@ -185,8 +233,18 @@ class Simulation:
         self._outgoing: Dict[Tuple[Vertex, Vertex], Payload] = {}
         self._sending_open = False
         self._inbox_order = inbox_order
+        self._seed = seed
         self._rng = random.Random(0 if seed is None else seed)
         self._ran = False
+        self._fault_plan = faults
+        self._injector = None
+        if faults is not None:
+            # Lazy import: repro.faults depends on this module for types.
+            from ..faults.injector import FaultInjector
+
+            self._injector = FaultInjector(faults)
+        self._round_budget = self.metrics.budget_bits
+        self.crashed: Dict[Vertex, int] = {}
         self._trace_enabled = trace
         self._trace_limit = trace_limit
         self.trace: List[Tuple[int, Vertex, Vertex, Payload]] = []
@@ -206,8 +264,8 @@ class Simulation:
                 f"node {sender!r} already sent to {receiver!r} this round"
             )
         bits = payload_bits(payload)
-        if bits > self.metrics.budget_bits:
-            raise MessageTooLargeError(bits, self.metrics.budget_bits)
+        if bits > self._round_budget:
+            raise MessageTooLargeError(bits, self._round_budget)
         self._outgoing[key] = payload
         self.metrics.record_message(bits)
         if self.tracer is not None:
@@ -231,12 +289,46 @@ class Simulation:
             self._rng.shuffle(items)
         return dict(items)
 
+    # -- fault helpers --------------------------------------------------
+    def _apply_crashes(
+        self,
+        round: int,
+        generators: Dict[Vertex, Generator[None, Inbox, Any]],
+    ) -> None:
+        """Kill nodes whose crash fires at the start of ``round``."""
+        injector = self._injector
+        for node in injector.crashes_at(round):
+            if node in self.crashed:
+                continue
+            gen = generators.pop(node, None)
+            if gen is not None:
+                gen.close()
+            self.crashed[node] = round
+            injector.note_crash(round, node, self.metrics, self.tracer)
+
+    def _apply_restarts(self, round: int) -> List[Vertex]:
+        """Reboot crashed nodes scheduled for ``round``; returns them."""
+        injector = self._injector
+        restarted = []
+        for node in injector.restarts_at(round):
+            if node not in self.crashed:
+                continue
+            del self.crashed[node]
+            injector.note_restart(round, node, self.metrics, self.tracer)
+            restarted.append(node)
+        return restarted
+
+    def _has_pending_restart(self) -> bool:
+        if self._injector is None:
+            return False
+        return self._injector.has_pending_restart(self.metrics.rounds)
+
     # -- execution ------------------------------------------------------
     def run(self) -> SimulationResult:
         if self._ran:
             raise CongestError(
-                "Simulation.run() called twice; metrics would double-count "
-                "— build a fresh Simulation per execution"
+                "a Simulation can only be run once; construct a new one "
+                "(metrics and node state would otherwise double-count)"
             )
         self._ran = True
         n = self._graph.num_vertices()
@@ -254,13 +346,23 @@ class Simulation:
         outputs: Dict[Vertex, Any] = {}
 
         tracer = self.tracer
+        injector = self._injector
 
         # Round 1: local computation + first sends.
         self.metrics.record_round()
         if tracer is not None:
             tracer.on_round_start()
+        if injector is not None:
+            for node in injector.crashes_at(1):
+                self.crashed[node] = 1
+                injector.note_crash(1, node, self.metrics, tracer)
+            self._round_budget = injector.budget_for(
+                1, self.metrics.budget_bits, self.metrics, tracer
+            )
         self._sending_open = True
         for v in self._graph.vertices():
+            if v in self.crashed:
+                continue
             gen = self._program(contexts[v])
             try:
                 next(gen)
@@ -271,24 +373,68 @@ class Simulation:
                     tracer.on_halt(v, stop.value)
         self._sending_open = False
 
-        while generators:
+        while generators or self._has_pending_restart():
             if self.metrics.rounds >= self._max_rounds:
+                if injector is not None and self.metrics.total_faults > 0:
+                    raise FaultToleranceExceeded(
+                        f"exceeded max_rounds={self._max_rounds} under fault "
+                        "injection; the protocol did not terminate within "
+                        "its tolerance envelope",
+                        round=self.metrics.rounds,
+                    )
                 raise ProtocolError(
                     f"exceeded max_rounds={self._max_rounds}; "
                     "protocol is not terminating"
                 )
             delivery = self._outgoing
             self._outgoing = {}
-            by_receiver: Dict[Vertex, Inbox] = {}
-            for (sender, receiver), payload in delivery.items():
-                by_receiver.setdefault(receiver, {})[sender] = payload
             self.metrics.record_round()
+            rnd = self.metrics.rounds
             if tracer is not None:
                 tracer.on_round_start()
+
+            restarted: List[Vertex] = []
+            if injector is not None:
+                self._apply_crashes(rnd, generators)
+                restarted.extend(self._apply_restarts(rnd))
+                self._round_budget = injector.budget_for(
+                    rnd, self.metrics.budget_bits, self.metrics, tracer
+                )
+                items: List[Tuple[Tuple[Vertex, Vertex], Payload]] = []
                 for (sender, receiver), payload in delivery.items():
+                    if receiver in self.crashed:
+                        injector.drop_for_crashed(
+                            rnd, sender, receiver, payload, self.metrics,
+                            tracer,
+                        )
+                        continue
+                    items.append(((sender, receiver), payload))
+                survivors = injector.process(rnd, items, self.metrics, tracer)
+            else:
+                survivors = [
+                    (sender, receiver, payload)
+                    for (sender, receiver), payload in delivery.items()
+                ]
+            by_receiver: Dict[Vertex, Inbox] = {}
+            for sender, receiver, payload in survivors:
+                by_receiver.setdefault(receiver, {})[sender] = payload
+            if tracer is not None:
+                for sender, receiver, payload in survivors:
                     tracer.on_deliver(sender, receiver, payload_bits(payload))
+
             self._sending_open = True
+            for v in restarted:
+                gen = self._program(contexts[v])
+                try:
+                    next(gen)
+                    generators[v] = gen
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    if tracer is not None:
+                        tracer.on_halt(v, stop.value)
             for v in sorted(generators):
+                if v in restarted:
+                    continue  # a rebooted program starts fresh this round
                 inbox: Inbox = self._arrange_inbox(by_receiver.get(v, {}))
                 gen = generators[v]
                 try:
@@ -299,16 +445,27 @@ class Simulation:
                     if tracer is not None:
                         tracer.on_halt(v, stop.value)
             self._sending_open = False
-            if not self._outgoing and not generators:
+            if not self._outgoing and not generators \
+                    and not self._has_pending_restart():
                 break
         # Messages queued in the sweep where the last generators halted
         # have no living receiver to ever observe them.  Count them so
         # harnesses (and tests) can detect silently dropped final sends —
-        # the dynamic face of the RL003 lint rule.
+        # the dynamic face of the RL003 lint rule.  In-flight delayed or
+        # duplicated fault copies that never matured count too.
         self.metrics.undelivered_messages = len(self._outgoing)
+        if injector is not None:
+            self.metrics.undelivered_messages += injector.pending_copies
         if tracer is not None:
             tracer.finish()
-        return SimulationResult(outputs=outputs, metrics=self.metrics)
+        return SimulationResult(
+            outputs=outputs,
+            metrics=self.metrics,
+            seed=self._seed,
+            inbox_order=self._inbox_order,
+            fault_plan=self._fault_plan,
+            crashed=dict(self.crashed),
+        )
 
 
 def run_protocol(
@@ -320,9 +477,10 @@ def run_protocol(
     tracer: Optional[Tracer] = None,
     inbox_order: str = "arrival",
     seed: Optional[int] = None,
+    faults: Optional[Any] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a Simulation and run it."""
     return Simulation(
         graph, program, inputs=inputs, budget=budget, max_rounds=max_rounds,
-        tracer=tracer, inbox_order=inbox_order, seed=seed,
+        tracer=tracer, inbox_order=inbox_order, seed=seed, faults=faults,
     ).run()

@@ -41,6 +41,8 @@ def grid_coloring_program(ctx: NodeContext) -> Generator[None, Inbox, Optional[i
     with ctx.phase("coordinate-verification"):
         ctx.send_all(("coord", row, col))
         inbox = yield
+    if set(inbox) != set(ctx.neighbors):
+        return None  # a neighbor's announcement never arrived (lost/crashed)
     for payload in inbox.values():
         if not (isinstance(payload, tuple) and payload and payload[0] == "coord"):
             return None
@@ -67,12 +69,19 @@ def grid_decomposition_distributed(
     p: int,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    inbox_order: str = "arrival",
+    seed: Optional[int] = None,
+    faults=None,
 ) -> DistributedDecompositionResult:
     """Run the O(1)-round distributed residue coloring on a grid network.
 
     ``graph`` must be the rows x cols grid with vertex ids r*cols + c (the
     :func:`repro.graph.generators.grid` convention, which fixes each node's
-    coordinates as its local input).
+    coordinates as its local input).  ``inbox_order`` / ``seed`` /
+    ``faults`` select an adversarial delivery order and fault plan (see
+    :class:`~repro.congest.runtime.Simulation`); a node whose verification
+    inbox was corrupted or depleted by faults reports ``None`` and the
+    decomposition is rejected rather than silently wrong.
     """
     if graph.num_vertices() != rows * cols:
         raise ProtocolError("graph does not match the announced grid shape")
@@ -90,8 +99,13 @@ def grid_decomposition_distributed(
             budget=budget,
             max_rounds=10,
             tracer=tracer,
+            inbox_order=inbox_order,
+            seed=seed,
+            faults=faults,
         )
-    if any(color is None for color in result.outputs.values()):
+    if result.crashed or any(
+        color is None for color in result.outputs.values()
+    ):
         return DistributedDecompositionResult(
             decomposition=None,
             accepted=False,

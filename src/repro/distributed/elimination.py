@@ -24,11 +24,18 @@ the distributed-decision semantics a single rejecting node rejects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ..congest import Inbox, NodeContext, leader_election, node_program, run_protocol
-from ..errors import ProtocolError
+from ..congest import (
+    Inbox,
+    NodeContext,
+    default_budget,
+    leader_election,
+    node_program,
+    run_protocol,
+)
+from ..errors import DecompositionError, FaultToleranceExceeded, ProtocolError
 from ..graph import Graph, Vertex
 from ..obs import Tracer, current_tracer, maybe_phase
 from ..treedepth import EliminationForest
@@ -177,13 +184,28 @@ def elimination_tree_program(
 
 @dataclass
 class DistributedEliminationResult:
-    """Harness-side view of one Algorithm 2 execution."""
+    """Harness-side view of one Algorithm 2 execution.
+
+    ``crashed`` maps fault-injected dead nodes to their crash round (empty
+    on faultless runs); ``retransmissions`` counts redundant copies sent by
+    the reliability layer when ``retry`` was used.  When crashes occurred
+    and the survivors accepted, ``forest`` is the elimination tree of the
+    *surviving induced subgraph* — validated against it, or the run fails
+    with :class:`~repro.errors.FaultToleranceExceeded` rather than
+    returning a silently wrong decomposition.
+    """
 
     accepted: bool
     forest: Optional[EliminationForest]
     outputs: Dict[Vertex, EliminationOutput]
     rounds: int
     max_message_bits: int
+    crashed: Dict[Vertex, int] = field(default_factory=dict)
+    retransmissions: int = 0
+
+
+def _elimination_max_rounds(graph: Graph, d: int) -> int:
+    return 200 + 40 * (4 ** d) + 4 * graph.num_vertices()
 
 
 def build_elimination_tree(
@@ -193,6 +215,8 @@ def build_elimination_tree(
     tracer: Optional[Tracer] = None,
     inbox_order: str = "arrival",
     seed: Optional[int] = None,
+    faults=None,
+    retry=None,
 ) -> DistributedEliminationResult:
     """Run Algorithm 2 on ``graph`` with treedepth bound ``d``.
 
@@ -202,26 +226,68 @@ def build_elimination_tree(
     ``tracer`` (explicit or process-installed) when tracing is on.
     ``inbox_order`` / ``seed`` select an adversarial message delivery order
     (see :class:`~repro.congest.runtime.Simulation`).
+
+    ``faults`` accepts a :class:`repro.faults.FaultPlan`; ``retry`` a
+    :class:`repro.faults.RetryPolicy`, wrapping the protocol in the
+    redundancy-lockstep synchronizer (budget and round caps are scaled
+    automatically).  Under faults the result is never silently wrong: the
+    protocol either yields a decomposition that *validates* against the
+    surviving induced subgraph, or raises
+    :class:`~repro.errors.FaultToleranceExceeded`.
     """
     if not graph.is_connected():
         raise ProtocolError("CONGEST requires a connected network")
     tracer = tracer if tracer is not None else current_tracer()
     inputs = {v: {"d": d} for v in graph.vertices()}
+    program = elimination_tree_program
+    run_budget = budget if budget is not None else default_budget(
+        graph.num_vertices()
+    )
+    max_rounds = _elimination_max_rounds(graph, d)
+    if retry is not None:
+        from ..faults import reliable_program
+
+        program = reliable_program(elimination_tree_program, retry)
+        run_budget = retry.physical_budget(run_budget)
+        max_rounds = retry.physical_max_rounds(max_rounds)
     with maybe_phase(tracer, "elimination"):
         result = run_protocol(
             graph,
-            elimination_tree_program,
+            program,
             inputs=inputs,
-            budget=budget,
-            max_rounds=200 + 40 * (4 ** d) + 4 * graph.num_vertices(),
+            budget=run_budget,
+            max_rounds=max_rounds,
             tracer=tracer,
             inbox_order=inbox_order,
             seed=seed,
+            faults=faults,
         )
     outputs: Dict[Vertex, EliminationOutput] = result.outputs
     accepted = all(out.status == "ok" for out in outputs.values())
     forest: Optional[EliminationForest] = None
-    if accepted:
+    if result.crashed:
+        if not accepted:
+            # A rejection computed on fault-corrupted state proves nothing
+            # about the surviving graph: fail closed, don't report td > d.
+            raise FaultToleranceExceeded(
+                f"nodes {sorted(map(repr, result.crashed))} crashed and the "
+                "survivors did not assemble a tree; the elimination outcome "
+                "is unreliable",
+                round=result.rounds,
+            )
+        survivors = graph.induced_subgraph(set(outputs))
+        forest = EliminationForest(
+            {v: out.parent for v, out in outputs.items()}
+        )
+        try:
+            forest.validate_for(survivors)
+        except DecompositionError as exc:
+            raise FaultToleranceExceeded(
+                "survivors report 'ok' but their tree does not validate "
+                f"against the surviving subgraph: {exc}",
+                round=result.rounds,
+            ) from exc
+    elif accepted:
         forest = EliminationForest(
             {v: out.parent for v, out in outputs.items()}
         )
@@ -232,4 +298,6 @@ def build_elimination_tree(
         outputs=outputs,
         rounds=result.rounds,
         max_message_bits=result.metrics.max_message_bits,
+        crashed=dict(result.crashed),
+        retransmissions=result.metrics.retransmissions,
     )

@@ -28,8 +28,8 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import BaseStructure, BaseSymbol
-from ..congest import Inbox, NodeContext, node_program, run_protocol
-from ..errors import ProtocolError
+from ..congest import Inbox, NodeContext, default_budget, node_program, run_protocol
+from ..errors import FaultToleranceExceeded, ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
 from ..obs import Tracer, current_tracer, maybe_phase
@@ -212,6 +212,8 @@ def decide(
     tracer: Optional[Tracer] = None,
     inbox_order: str = "arrival",
     seed: Optional[int] = None,
+    faults=None,
+    retry=None,
 ) -> DistributedDecision:
     """Run the full pipeline: Algorithm 2, then the decision convergecast.
 
@@ -221,12 +223,27 @@ def decide(
     ``decision`` harness phases with the protocols' finer spans nested
     inside.  ``inbox_order`` / ``seed`` select an adversarial delivery
     order for both phases (see :class:`~repro.congest.runtime.Simulation`).
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) subjects *both* phases
+    to the same adversary; ``retry`` (a :class:`repro.faults.RetryPolicy`)
+    wraps both protocols in the redundancy-lockstep synchronizer.  The
+    decision requires every node alive end to end: any crash raises
+    :class:`~repro.errors.FaultToleranceExceeded` — a verdict must never
+    be computed on a partial network, and with bounded transient loss plus
+    ``retry`` the returned verdict equals the faultless one or the run
+    fails closed.
     """
     tracer = tracer if tracer is not None else current_tracer()
     elim = build_elimination_tree(
         graph, d, budget=budget, tracer=tracer,
-        inbox_order=inbox_order, seed=seed,
+        inbox_order=inbox_order, seed=seed, faults=faults, retry=retry,
     )
+    if elim.crashed:
+        raise FaultToleranceExceeded(
+            f"nodes {sorted(map(repr, elim.crashed))} crashed during "
+            "elimination; a model-checking verdict needs the whole network",
+            round=elim.rounds,
+        )
     if not elim.accepted:
         return DistributedDecision(
             accepted=False,
@@ -240,16 +257,34 @@ def decide(
     scope = formula_automaton.scope
     inputs = node_inputs_from_elimination(graph, elim, assignment, scope)
     codec = ClassCodec(formula_automaton)
+    program = decision_program(formula_automaton, codec)
+    run_budget = budget if budget is not None else default_budget(
+        graph.num_vertices()
+    )
+    max_rounds = 20 + 6 * (2 ** d) + 2 * graph.num_vertices()
+    if retry is not None:
+        from ..faults import reliable_program
+
+        program = reliable_program(program, retry)
+        run_budget = retry.physical_budget(run_budget)
+        max_rounds = retry.physical_max_rounds(max_rounds)
     with maybe_phase(tracer, "decision"):
         result = run_protocol(
             graph,
-            decision_program(formula_automaton, codec),
+            program,
             inputs=inputs,
-            budget=budget,
-            max_rounds=20 + 6 * (2 ** d) + 2 * graph.num_vertices(),
+            budget=run_budget,
+            max_rounds=max_rounds,
             tracer=tracer,
             inbox_order=inbox_order,
             seed=seed,
+            faults=faults,
+        )
+    if result.crashed:
+        raise FaultToleranceExceeded(
+            f"nodes {sorted(map(repr, result.crashed))} crashed during the "
+            "decision convergecast; the verdict cannot be trusted",
+            round=result.rounds,
         )
     outputs = result.outputs
     if len(set(outputs.values())) != 1:

@@ -68,5 +68,20 @@ class ProtocolError(CongestError):
     """A distributed protocol reached an inconsistent state."""
 
 
+class FaultToleranceExceeded(CongestError):
+    """Injected faults exceeded what the protocol can provably tolerate.
+
+    Raised instead of returning a possibly-wrong answer: a retry bound ran
+    out, a neighbor went silent past the retransmission window, or a crash
+    left the surviving nodes with an inconsistent result.  ``node`` and
+    ``round`` (when known) locate the first detection point.
+    """
+
+    def __init__(self, message: str, node=None, round: int = 0):
+        self.node = node
+        self.round = round
+        super().__init__(message)
+
+
 class CertificationError(ReproError):
     """Raised by the certification prover on unsatisfiable instances."""

@@ -1,0 +1,32 @@
+"""repro.faults — seeded fault injection for the CONGEST simulator.
+
+Three layers (see ``docs/fault-injection.md``):
+
+* :class:`FaultPlan` / :class:`CrashFault` — a declarative, JSON-
+  serializable description of what the adversary does (message drop /
+  duplication / delay / truncation rates, budget jitter, crash and
+  crash-restart schedules), seeded for exact replay;
+* :class:`FaultInjector` — the runtime that applies a plan inside
+  :class:`~repro.congest.runtime.Simulation` (pass ``faults=plan``),
+  emitting a typed trace event and a metrics count per injected fault;
+* :func:`reliable_program` / :class:`RetryPolicy` — a redundancy-lockstep
+  round synchronizer making protocols survive bounded transient loss or
+  fail closed with :class:`~repro.errors.FaultToleranceExceeded`, never
+  run on silently missing data.
+
+``python -m repro faults --plan plan.json <graph>`` replays a plan from
+disk against the distributed model checker.
+"""
+
+from .plan import CrashFault, FaultPlan
+from .injector import FaultInjector
+from .sync import SYNC_OVERHEAD_BITS, RetryPolicy, reliable_program
+
+__all__ = [
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "SYNC_OVERHEAD_BITS",
+    "reliable_program",
+]

@@ -1,0 +1,217 @@
+"""The runtime half of fault injection: a seeded message/process adversary.
+
+:class:`FaultInjector` sits between the simulator's outgoing queue and the
+per-node inboxes.  Once per round the simulator hands it the queued
+``(sender, receiver) -> payload`` deliveries; the injector draws from its
+private :class:`random.Random` (seeded by the plan, independent of the
+simulator's inbox-shuffling RNG) and returns the surviving delivery list,
+emitting one typed trace event per injected fault and counting it in
+:class:`~repro.congest.metrics.RoundMetrics`.
+
+Determinism contract: for a fixed plan, graph, program, inputs, and
+simulation seed, the sequence of RNG draws — and therefore every injected
+fault — is identical across runs.  A plan with all rates at zero and no
+crashes never touches the RNG at all, so a null plan is byte-for-byte
+transparent: same outputs, same metrics, same trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..congest.messages import Payload, payload_bits
+from ..congest.metrics import RoundMetrics
+from ..obs.events import (
+    BudgetJittered,
+    MessageDelayed,
+    MessageDropped,
+    MessageDuplicated,
+    NodeCrashed,
+    NodeRestarted,
+    PayloadTruncated,
+)
+from .plan import FaultPlan
+
+Edge = Tuple[Any, Any]
+
+
+def _truncate(payload: Payload) -> Payload:
+    """Drop the payload's tail: tuples lose their last element, scalars
+    collapse to None — the shape a message takes when cut mid-flight."""
+    if isinstance(payload, tuple) and payload:
+        return payload[:-1]
+    return None
+
+
+class FaultInjector:
+    """Applies a :class:`~repro.faults.plan.FaultPlan` to one simulation.
+
+    Stateful (it tracks in-flight delayed copies and which crashes have
+    fired), so build a fresh injector per :class:`Simulation` — reusing
+    one across runs would desynchronize the RNG stream from the plan.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        # deliver_round -> list of (sender, receiver, payload) copies in
+        # the order their faults were drawn (deterministic iteration).
+        self._pending: Dict[int, List[Tuple[Any, Any, Payload]]] = {}
+        self._crashed: Dict[Any, int] = {}
+
+    # -- process faults -------------------------------------------------
+    def crashes_at(self, round: int) -> List[Any]:
+        """Nodes whose crash fires at the start of ``round`` (each once)."""
+        nodes = []
+        for crash in self.plan.crashes:
+            if crash.at_round == round and crash.node not in self._crashed:
+                self._crashed[crash.node] = round
+                nodes.append(crash.node)
+        return nodes
+
+    def restarts_at(self, round: int) -> List[Any]:
+        """Crashed nodes scheduled to reboot at the start of ``round``."""
+        nodes = []
+        for crash in self.plan.crashes:
+            if (
+                crash.restart_round == round
+                and self._crashed.get(crash.node) == crash.at_round
+            ):
+                del self._crashed[crash.node]
+                nodes.append(crash.node)
+        return nodes
+
+    def is_crashed(self, node: Any) -> bool:
+        return node in self._crashed
+
+    def has_pending_restart(self, after_round: int) -> bool:
+        """Is any currently-crashed node scheduled to reboot later?
+
+        Keeps the simulator's round loop alive through a window where every
+        program is dead but a restart is still due.
+        """
+        for crash in self.plan.crashes:
+            if (
+                crash.restart_round is not None
+                and crash.restart_round > after_round
+                and self._crashed.get(crash.node) == crash.at_round
+            ):
+                return True
+        return False
+
+    # -- per-round budget -----------------------------------------------
+    def budget_for(self, round: int, base: int, metrics: RoundMetrics,
+                   tracer=None) -> int:
+        """The effective per-edge budget for ``round`` (>= 1 always)."""
+        if self.plan.budget_jitter == 0 or not self.plan.active_in(round):
+            return base
+        offset = self.rng.randint(
+            -self.plan.budget_jitter, self.plan.budget_jitter
+        )
+        budget = max(1, base + offset)
+        if budget != base:
+            metrics.record_fault(BudgetJittered.kind)
+            if tracer is not None:
+                tracer.on_fault(BudgetJittered(round=round, budget=budget,
+                                               base=base))
+        return budget
+
+    # -- message faults -------------------------------------------------
+    def process(
+        self,
+        round: int,
+        deliveries: Iterable[Tuple[Edge, Payload]],
+        metrics: RoundMetrics,
+        tracer=None,
+    ) -> List[Tuple[Any, Any, Payload]]:
+        """Filter one round's deliveries through the adversary.
+
+        ``round`` is the round the messages arrive in.  Returns the
+        surviving ``(sender, receiver, payload)`` list in deterministic
+        order: fresh messages first (queue order), then matured
+        delayed/duplicated copies (injection order).  A matured copy is
+        discarded if a fresh message already occupies its directed edge.
+        """
+        plan = self.plan
+        active = plan.active_in(round)
+        out: List[Tuple[Any, Any, Payload]] = []
+        seen: set = set()
+
+        def emit(event) -> None:
+            metrics.record_fault(event.kind)
+            if tracer is not None:
+                tracer.on_fault(event)
+
+        for (sender, receiver), payload in deliveries:
+            if active and plan.drop_rate > 0.0 \
+                    and self.rng.random() < plan.drop_rate:
+                emit(MessageDropped(round=round, sender=sender,
+                                    receiver=receiver,
+                                    bits=payload_bits(payload)))
+                continue
+            if active and plan.truncate_rate > 0.0 \
+                    and self.rng.random() < plan.truncate_rate:
+                original = payload_bits(payload)
+                payload = _truncate(payload)
+                emit(PayloadTruncated(round=round, sender=sender,
+                                      receiver=receiver,
+                                      original_bits=original,
+                                      bits=payload_bits(payload)))
+            if active and plan.delay_rate > 0.0 \
+                    and self.rng.random() < plan.delay_rate:
+                delay = self.rng.randint(1, plan.max_delay)
+                emit(MessageDelayed(round=round, sender=sender,
+                                    receiver=receiver, delay=delay))
+                self._pending.setdefault(round + delay, []).append(
+                    (sender, receiver, payload)
+                )
+                continue
+            if active and plan.duplicate_rate > 0.0 \
+                    and self.rng.random() < plan.duplicate_rate:
+                deliver = round + self.rng.randint(1, plan.max_delay)
+                emit(MessageDuplicated(round=round, sender=sender,
+                                       receiver=receiver,
+                                       deliver_round=deliver))
+                self._pending.setdefault(deliver, []).append(
+                    (sender, receiver, payload)
+                )
+            out.append((sender, receiver, payload))
+            seen.add((sender, receiver))
+
+        for sender, receiver, payload in self._pending.pop(round, ()):
+            if (sender, receiver) in seen:
+                continue  # fresh traffic owns the edge this round
+            out.append((sender, receiver, payload))
+            seen.add((sender, receiver))
+        return out
+
+    def drop_for_crashed(self, round: int, sender: Any, receiver: Any,
+                         payload: Payload, metrics: RoundMetrics,
+                         tracer=None) -> None:
+        """Record the loss of a message addressed to a crashed node."""
+        event = MessageDropped(round=round, sender=sender, receiver=receiver,
+                               bits=payload_bits(payload),
+                               reason="receiver-crashed")
+        metrics.record_fault(event.kind)
+        if tracer is not None:
+            tracer.on_fault(event)
+
+    def note_crash(self, round: int, node: Any, metrics: RoundMetrics,
+                   tracer=None) -> None:
+        event = NodeCrashed(round=round, node=node)
+        metrics.record_fault(event.kind)
+        if tracer is not None:
+            tracer.on_fault(event)
+
+    def note_restart(self, round: int, node: Any, metrics: RoundMetrics,
+                     tracer=None) -> None:
+        event = NodeRestarted(round=round, node=node)
+        metrics.record_fault(event.kind)
+        if tracer is not None:
+            tracer.on_fault(event)
+
+    @property
+    def pending_copies(self) -> int:
+        """Delayed/duplicated copies still in flight (lost if the run ends)."""
+        return sum(len(copies) for copies in self._pending.values())

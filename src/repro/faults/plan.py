@@ -1,0 +1,192 @@
+"""Declarative, seeded fault plans for the CONGEST simulator.
+
+A :class:`FaultPlan` is a pure value: probabilities, bounds, and crash
+schedules.  Handing the same plan (and the same simulation seed, graph,
+program, and inputs) to :class:`~repro.congest.runtime.Simulation` always
+reproduces the same execution fault-for-fault — the injector draws from
+``random.Random(plan.seed)`` in a deterministic order, so a failing
+property-test case can be replayed from its captured plan alone.
+
+Plans serialize to plain JSON (:meth:`FaultPlan.to_json` /
+:meth:`FaultPlan.from_json`); ``python -m repro faults --plan plan.json``
+replays one from disk.  Crash schedules name vertices directly, so JSON
+plans require JSON-native vertex ids (ints or strings) — which every
+built-in generator produces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import CongestError
+
+_RATE_FIELDS = ("drop_rate", "duplicate_rate", "delay_rate", "truncate_rate")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill ``node`` at the start of ``at_round``; optionally reboot it.
+
+    A restarted node runs its program from scratch (crash-restart loses all
+    volatile state), re-entering the network at ``restart_round``.
+    """
+
+    node: Any
+    at_round: int
+    restart_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_round < 1:
+            raise CongestError("crash at_round must be >= 1")
+        if self.restart_round is not None and self.restart_round <= self.at_round:
+            raise CongestError("restart_round must be after at_round")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"node": self.node, "at_round": self.at_round}
+        if self.restart_round is not None:
+            data["restart_round"] = self.restart_round
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashFault":
+        return cls(
+            node=data["node"],
+            at_round=int(data["at_round"]),
+            restart_round=(
+                None if data.get("restart_round") is None
+                else int(data["restart_round"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What the adversarial substrate does, and when.
+
+    Message faults are drawn per queued message (per edge-round) in the
+    window ``[first_round, last_round]`` (``last_round=None`` = forever):
+
+    * ``drop_rate`` — the message is destroyed;
+    * ``duplicate_rate`` — an extra copy is delivered 1..``max_delay``
+      rounds after the original;
+    * ``delay_rate`` — delivery is postponed by 1..``max_delay`` rounds;
+    * ``truncate_rate`` — the payload loses its tail (a tuple drops its
+      last element; scalars collapse to ``None``), modeling a message cut
+      to a smaller budget mid-flight.
+
+    A duplicated or delayed copy that matures in a round where a *fresh*
+    message occupies the same directed edge is discarded (the CONGEST
+    inbox holds one message per neighbor per round; fresh traffic wins).
+
+    ``budget_jitter`` draws a per-round budget offset in
+    ``[-budget_jitter, +budget_jitter]`` bits, stressing protocols whose
+    payloads sail close to the limit.  ``crashes`` is an explicit schedule
+    of :class:`CrashFault` entries.  Rounds are counted per
+    :class:`~repro.congest.runtime.Simulation` — a pipeline of several
+    simulations applies the plan to each run independently.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay: int = 3
+    truncate_rate: float = 0.0
+    budget_jitter: int = 0
+    crashes: Tuple[CrashFault, ...] = ()
+    first_round: int = 1
+    last_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise CongestError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.max_delay < 1:
+            raise CongestError("max_delay must be >= 1")
+        if self.budget_jitter < 0:
+            raise CongestError("budget_jitter must be >= 0")
+        if self.first_round < 1:
+            raise CongestError("first_round must be >= 1")
+        if self.last_round is not None and self.last_round < self.first_round:
+            raise CongestError("last_round must be >= first_round")
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # -- queries --------------------------------------------------------
+    def is_null(self) -> bool:
+        """Can this plan never inject anything?  (Pass-through guarantee.)"""
+        return (
+            all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+            and self.budget_jitter == 0
+            and not self.crashes
+        )
+
+    def active_in(self, round: int) -> bool:
+        if round < self.first_round:
+            return False
+        return self.last_round is None or round <= self.last_round
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan with a different fault-schedule seed."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if rate:
+                parts.append(f"{name.removesuffix('_rate')}={rate:g}")
+        if self.delay_rate or self.duplicate_rate:
+            parts.append(f"max_delay={self.max_delay}")
+        if self.budget_jitter:
+            parts.append(f"budget_jitter=±{self.budget_jitter}")
+        for crash in self.crashes:
+            text = f"crash({crash.node!r}@r{crash.at_round}"
+            if crash.restart_round is not None:
+                text += f", restart r{crash.restart_round}"
+            parts.append(text + ")")
+        if self.first_round != 1 or self.last_round is not None:
+            parts.append(
+                f"rounds {self.first_round}..{self.last_round or 'end'}"
+            )
+        return "FaultPlan(" + ", ".join(parts) + ")"
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "crashes":
+                value = [crash.to_dict() for crash in value]
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise CongestError(
+                f"unknown fault-plan field(s): {', '.join(sorted(unknown))}"
+            )
+        kwargs = dict(data)
+        kwargs["crashes"] = tuple(
+            CrashFault.from_dict(crash) for crash in data.get("crashes", ())
+        )
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CongestError(f"malformed fault plan JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CongestError("fault plan JSON must be an object")
+        return cls.from_dict(data)

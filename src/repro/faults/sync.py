@@ -1,0 +1,250 @@
+"""Round synchronizer: run a CONGEST program over a lossy substrate.
+
+:func:`reliable_program` wraps any node program in a *redundancy-lockstep*
+synchronizer: logical round ``t`` of the inner protocol is stretched over
+``attempts`` physical rounds, during which each node transmits ``attempts``
+identical copies of its round-``t`` bundle to every live neighbor.  One
+surviving copy per (neighbor, round) suffices, so under independent
+per-edge-round message loss with probability ``p`` a logical round-edge
+fails with probability ``p**attempts``.
+
+Why redundancy rather than acknowledgments: an ack-based synchronizer hits
+the two-generals problem at protocol termination — a halting node cannot
+know its final acks arrived, so either it waits forever or its neighbors
+may time out spuriously.  Blind redundancy has deterministic phase
+boundaries (phase ``t`` occupies physical rounds ``(t-1)*K+1 .. t*K``), no
+acks, and a clean fail-closed rule: if after a phase's full window a bundle
+from a live neighbor never arrived (all ``K`` copies lost, or the neighbor
+crashed), the wrapper raises
+:class:`~repro.errors.FaultToleranceExceeded` — the protocol never
+continues on silently missing data.
+
+Bundles are ``("syn", t, fin, slot)`` where ``slot`` is ``None`` (beacon:
+alive but no message for you this round) or ``("m", payload)``; ``fin``
+marks the sender's final logical round so receivers stop expecting it.
+The framing costs at most :data:`SYNC_OVERHEAD_BITS` on top of the inner
+payload — harnesses grant the wrapper ``budget + SYNC_OVERHEAD_BITS`` and
+the proxy context re-imposes the *logical* budget on inner sends, so the
+wrapped protocol's CONGEST discipline is unchanged.
+
+Every redundant copy (all but the first per phase) is counted via
+``ctx.record_retry`` into ``metrics.retransmissions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..congest.messages import Payload, payload_bits
+from ..congest.runtime import Inbox, NodeContext, NodeProgram
+from ..errors import CongestError, FaultToleranceExceeded, MessageTooLargeError
+
+#: Worst-case framing cost of a synchronizer bundle beyond the inner
+#: payload: "syn" tag + phase counter + fin flag + slot wrapper, with
+#: headroom for phase counters into the billions.
+SYNC_OVERHEAD_BITS = 64
+
+_ABSENT = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the synchronizer fights message loss.
+
+    ``attempts`` is the number of identical copies of each logical-round
+    bundle (and the physical-round stretch factor).  ``attempts=1`` is
+    plain framing with no redundancy — any loss fails closed immediately.
+    """
+
+    attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise CongestError("RetryPolicy.attempts must be >= 1")
+
+    def physical_budget(self, logical_budget: int) -> int:
+        """The per-edge budget the wrapped simulation needs."""
+        return logical_budget + SYNC_OVERHEAD_BITS
+
+    def physical_max_rounds(self, logical_max_rounds: int) -> int:
+        """A round cap for the wrapped run (stretch factor + slack)."""
+        return logical_max_rounds * self.attempts + self.attempts + 1
+
+
+def _parse_bundle(bundle: Payload) -> Optional[Tuple[int, bool, Any]]:
+    """Decode a synchronizer bundle; None for garbled/truncated copies.
+
+    Truncation faults shorten the tuple or mangle the slot — such a copy
+    is indistinguishable from a lost one and is treated exactly that way.
+    """
+    if (
+        not isinstance(bundle, tuple)
+        or len(bundle) != 4
+        or bundle[0] != "syn"
+        or isinstance(bundle[1], bool)
+        or not isinstance(bundle[1], int)
+        or not isinstance(bundle[2], bool)
+    ):
+        return None
+    slot = bundle[3]
+    if slot is not None and (
+        not isinstance(slot, tuple) or len(slot) != 2 or slot[0] != "m"
+    ):
+        return None
+    return bundle[1], bundle[2], slot
+
+
+class _LogicalContext:
+    """The :class:`NodeContext` surface the inner program sees.
+
+    Sends are buffered into a per-logical-round outbox (the wrapper
+    transmits them as bundle copies) and validated against the *logical*
+    budget — the physical budget minus the synchronizer's framing
+    allowance — so a protocol that is CONGEST-legal unwrapped stays legal
+    wrapped.
+    """
+
+    def __init__(self, ctx: NodeContext):
+        self._ctx = ctx
+        self.node = ctx.node
+        self.neighbors = list(ctx.neighbors)
+        self.n = ctx.n
+        self.input = ctx.input
+        self._outbox: Dict[Any, Payload] = {}
+        self._logical_round = 1
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def round_number(self) -> int:
+        """The inner protocol's round counter (logical, not physical)."""
+        return self._logical_round
+
+    @property
+    def budget(self) -> int:
+        return self._ctx.budget - SYNC_OVERHEAD_BITS
+
+    def phase(self, name: str):
+        return self._ctx.phase(name)
+
+    def record_retry(self, count: int = 1) -> None:
+        self._ctx.record_retry(count)
+
+    def send(self, neighbor: Any, payload: Payload) -> None:
+        if neighbor not in self.neighbors:
+            raise CongestError(
+                f"{self.node!r} is not adjacent to {neighbor!r}"
+            )
+        if neighbor in self._outbox:
+            raise CongestError(
+                f"node {self.node!r} already sent to {neighbor!r} this round"
+            )
+        bits = payload_bits(payload)
+        if bits > self.budget:
+            raise MessageTooLargeError(bits, self.budget)
+        self._outbox[neighbor] = payload
+
+    def send_all(self, payload: Payload) -> None:
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload)
+
+    def _take_outbox(self) -> Dict[Any, Payload]:
+        outbox, self._outbox = self._outbox, {}
+        return outbox
+
+
+def reliable_program(program: NodeProgram,
+                     policy: RetryPolicy = RetryPolicy()) -> NodeProgram:
+    """Wrap ``program`` in the redundancy-lockstep synchronizer.
+
+    The wrapped program tolerates up to ``policy.attempts - 1`` lost copies
+    per (edge, logical round); beyond that it raises
+    :class:`~repro.errors.FaultToleranceExceeded` rather than running the
+    inner protocol on an incomplete inbox.  Run it with
+    ``budget=policy.physical_budget(b)`` and
+    ``max_rounds=policy.physical_max_rounds(r)``.
+    """
+    attempts = policy.attempts
+
+    def wrapped(ctx: NodeContext):
+        inner_ctx = _LogicalContext(ctx)
+        inner = program(inner_ctx)
+        # (neighbor, phase) -> slot; first surviving copy wins.
+        buffers: Dict[Tuple[Any, int], Any] = {}
+        fin_at: Dict[Any, int] = {}
+
+        def absorb(physical_inbox: Inbox) -> None:
+            for neighbor, bundle in physical_inbox.items():
+                parsed = _parse_bundle(bundle)
+                if parsed is None:
+                    continue
+                phase, fin, slot = parsed
+                key = (neighbor, phase)
+                if key not in buffers:
+                    buffers[key] = slot
+                    if fin and neighbor not in fin_at:
+                        fin_at[neighbor] = phase
+
+        t = 1
+        halted = False
+        value: Any = None
+        try:
+            next(inner)
+        except StopIteration as stop:
+            halted, value = True, stop.value
+
+        while True:
+            inner_ctx._logical_round = t
+            outbox = inner_ctx._take_outbox()
+            targets = [
+                nb for nb in inner_ctx.neighbors
+                if fin_at.get(nb, t) >= t
+            ]
+            for copy in range(attempts):
+                for nb in targets:
+                    slot = ("m", outbox[nb]) if nb in outbox else None
+                    ctx.send(nb, ("syn", t, halted, slot))
+                if copy > 0 and targets:
+                    ctx.record_retry(len(targets))
+                if copy < attempts - 1:
+                    absorb((yield))
+            if halted:
+                # Final copies are queued; sends before return are
+                # delivered, so neighbors still complete this phase.
+                return value
+            # First physical round of phase t+1: carries copy #attempts
+            # of phase t, completing its delivery window.
+            absorb((yield))
+            logical_inbox: Dict[Any, Payload] = {}
+            missing: List[Any] = []
+            for nb in inner_ctx.neighbors:
+                if fin_at.get(nb, t) < t:
+                    continue  # halted before this phase; nothing expected
+                slot = buffers.pop((nb, t), _ABSENT)
+                if slot is _ABSENT:
+                    missing.append(nb)
+                elif slot is not None:
+                    logical_inbox[nb] = slot[1]
+            if missing:
+                raise FaultToleranceExceeded(
+                    f"node {ctx.node!r}: no round-{t} bundle from "
+                    f"{sorted(map(repr, missing))} after {attempts} "
+                    "copies — neighbor crashed or all copies lost",
+                    node=ctx.node,
+                    round=t,
+                )
+            t += 1
+            inner_ctx._logical_round = t
+            ordered = dict(
+                sorted(logical_inbox.items(), key=lambda kv: repr(kv[0]))
+            )
+            try:
+                inner.send(ordered)
+            except StopIteration as stop:
+                halted, value = True, stop.value
+
+    wrapped.__name__ = f"reliable[{getattr(program, '__name__', 'program')}]"
+    return wrapped

@@ -8,8 +8,17 @@ for the CLI entry point.
 """
 
 from .events import (
+    FAULT_EVENT_KINDS,
+    BudgetJittered,
     DeliverEvent,
+    FaultEvent,
+    MessageDelayed,
+    MessageDropped,
+    MessageDuplicated,
+    NodeCrashed,
     NodeHalt,
+    NodeRestarted,
+    PayloadTruncated,
     PhaseEnter,
     PhaseExit,
     RoundStart,
@@ -44,10 +53,13 @@ def maybe_phase(tracer, name: str):
 
 
 __all__ = [
-    "DeliverEvent", "EdgeStats", "NULL_SPAN", "NodeHalt", "NodeStats",
-    "PhaseEnter", "PhaseExit", "PhaseStats", "ProfileStat", "RoundStart",
-    "SendEvent", "TraceEvent", "Tracer", "chrome_trace_dict",
-    "current_tracer", "event_from_dict", "install_tracer", "maybe_phase",
-    "phase_table_rows", "profiled", "read_events", "render_phase_table",
-    "use_tracer", "write_chrome_trace", "write_jsonl",
+    "BudgetJittered", "DeliverEvent", "EdgeStats", "FAULT_EVENT_KINDS",
+    "FaultEvent", "MessageDelayed", "MessageDropped", "MessageDuplicated",
+    "NULL_SPAN", "NodeCrashed", "NodeHalt", "NodeRestarted", "NodeStats",
+    "PayloadTruncated", "PhaseEnter", "PhaseExit", "PhaseStats",
+    "ProfileStat", "RoundStart", "SendEvent", "TraceEvent", "Tracer",
+    "chrome_trace_dict", "current_tracer", "event_from_dict",
+    "install_tracer", "maybe_phase", "phase_table_rows", "profiled",
+    "read_events", "render_phase_table", "use_tracer", "write_chrome_trace",
+    "write_jsonl",
 ]

@@ -96,9 +96,102 @@ class PhaseExit(TraceEvent):
     node: Optional[Any] = None
 
 
+@dataclass(frozen=True)
+class FaultEvent(TraceEvent):
+    """Base class for injected-fault events (see :mod:`repro.faults`)."""
+
+    kind: ClassVar[str] = "fault"
+
+
+@dataclass(frozen=True)
+class MessageDropped(FaultEvent):
+    """A queued message was destroyed before delivery.
+
+    ``reason`` distinguishes random loss (``"drop"``) from messages lost
+    because their receiver had crashed (``"receiver-crashed"``).
+    """
+
+    kind: ClassVar[str] = "fault-drop"
+    sender: Any
+    receiver: Any
+    bits: int
+    reason: str = "drop"
+
+
+@dataclass(frozen=True)
+class MessageDuplicated(FaultEvent):
+    """A message will be delivered again at ``deliver_round``."""
+
+    kind: ClassVar[str] = "fault-duplicate"
+    sender: Any
+    receiver: Any
+    deliver_round: int
+
+
+@dataclass(frozen=True)
+class MessageDelayed(FaultEvent):
+    """Delivery postponed by ``delay`` extra rounds."""
+
+    kind: ClassVar[str] = "fault-delay"
+    sender: Any
+    receiver: Any
+    delay: int
+
+
+@dataclass(frozen=True)
+class PayloadTruncated(FaultEvent):
+    """The payload was corrupted by dropping its tail to ``bits``."""
+
+    kind: ClassVar[str] = "fault-truncate"
+    sender: Any
+    receiver: Any
+    original_bits: int
+    bits: int
+
+
+@dataclass(frozen=True)
+class NodeCrashed(FaultEvent):
+    """A node's program was killed at the start of ``round``."""
+
+    kind: ClassVar[str] = "fault-crash"
+    node: Any
+
+
+@dataclass(frozen=True)
+class NodeRestarted(FaultEvent):
+    """A crashed node rebooted with a fresh program (state lost)."""
+
+    kind: ClassVar[str] = "fault-restart"
+    node: Any
+
+
+@dataclass(frozen=True)
+class BudgetJittered(FaultEvent):
+    """This round's effective per-edge budget differs from the base."""
+
+    kind: ClassVar[str] = "fault-budget"
+    budget: int
+    base: int
+
+
+FAULT_EVENT_KINDS = (
+    MessageDropped.kind,
+    MessageDuplicated.kind,
+    MessageDelayed.kind,
+    PayloadTruncated.kind,
+    NodeCrashed.kind,
+    NodeRestarted.kind,
+    BudgetJittered.kind,
+)
+
+
 _EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.kind: cls
-    for cls in (RoundStart, SendEvent, DeliverEvent, NodeHalt, PhaseEnter, PhaseExit)
+    for cls in (
+        RoundStart, SendEvent, DeliverEvent, NodeHalt, PhaseEnter, PhaseExit,
+        MessageDropped, MessageDuplicated, MessageDelayed, PayloadTruncated,
+        NodeCrashed, NodeRestarted, BudgetJittered,
+    )
 }
 
 

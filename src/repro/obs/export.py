@@ -21,6 +21,7 @@ import json
 from typing import IO, Any, Dict, Iterable, List, Union
 
 from .events import (
+    FaultEvent,
     PhaseEnter,
     PhaseExit,
     RoundStart,
@@ -124,6 +125,14 @@ def render_phase_table(tracer: Tracer) -> str:
             for name, stat in sorted(tracer.timings.items())
         ]
         out.append(_render(["section", "calls", "total_ms", "max_ms"], trows))
+    if tracer.fault_counts:
+        out.append("")
+        out.append("injected faults:")
+        frows = [
+            [kind, str(count)]
+            for kind, count in sorted(tracer.fault_counts.items())
+        ]
+        out.append(_render(["fault", "count"], frows))
     if tracer.truncated:
         out.append("")
         out.append(f"note: event log truncated at {tracer.max_events} events")
@@ -170,6 +179,13 @@ def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
             trace.append({"name": f"round {event.round}", "cat": "round",
                           "ph": "i", "s": "g", "ts": ts, "pid": 0, "tid": 0,
                           "args": {"phase": event.phase}})
+        elif isinstance(event, FaultEvent):
+            data = event.to_dict()
+            trace.append({
+                "name": data.pop("kind"), "cat": "fault", "ph": "i", "s": "g",
+                "ts": ts, "pid": 0, "tid": 0,
+                "args": {k: v for k, v in data.items() if k != "round"},
+            })
     cursor = 0
     for name, stat in sorted(tracer.timings.items()):
         dur = max(1, int(stat.seconds * 1e6))

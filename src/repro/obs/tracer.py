@@ -24,11 +24,13 @@ Design constraints (see ``docs/observability.md``):
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from .events import (
     DeliverEvent,
+    FaultEvent,
     NodeHalt,
     PhaseEnter,
     PhaseExit,
@@ -180,6 +182,7 @@ class Tracer:
         self.phase_stats: Dict[str, PhaseStats] = {}
         self.node_stats: Dict[Any, NodeStats] = {}
         self.edge_stats: Dict[Tuple[Any, Any], EdgeStats] = {}
+        self.fault_counts: Dict[str, int] = {}
         self.timings: Dict[str, ProfileStat] = {}
         self._global_stack: List[str] = []
         self._global_path = ""
@@ -338,6 +341,19 @@ class Tracer:
                 output=repr(output) if self.capture_payloads else "",
             ))
 
+    def on_fault(self, event: FaultEvent) -> None:
+        """Record an injected-fault event (see :mod:`repro.faults`).
+
+        The event's ``round`` field is rewritten to the tracer's *global*
+        round counter so post-mortems line up with the rest of the log even
+        across the several Simulations of one pipeline.
+        """
+        self.fault_counts[event.kind] = self.fault_counts.get(event.kind, 0) + 1
+        if self.wants_events:
+            if event.round != self.round:
+                event = dataclasses.replace(event, round=self.round)
+            self._emit(event)
+
     # -- wall-clock profiling -------------------------------------------
     def profile(self, name: str) -> _ProfileSpan:
         """Time a sequential section under ``name`` (accumulating)."""
@@ -369,6 +385,13 @@ class Tracer:
             f"rounds={self.round} phases={len(self.phase_stats)} "
             f"messages={total_msgs} bits={total_bits} events={len(self.events)}"
         ]
+        if self.fault_counts:
+            parts.append(
+                "faults=" + ",".join(
+                    f"{kind}:{count}"
+                    for kind, count in sorted(self.fault_counts.items())
+                )
+            )
         if self.truncated:
             parts.append("truncated=True")
         return " ".join(parts)

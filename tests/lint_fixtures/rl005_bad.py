@@ -1,0 +1,16 @@
+"""RL005 golden fixture: reliable_send with no finite retry bound."""
+
+from repro.congest import NodeContext, node_program, reliable_send
+
+
+@node_program
+def program(ctx: NodeContext):
+    target = min(ctx.neighbors)
+    # Default max_retries=None: waits for the ack forever.
+    retries = yield from reliable_send(ctx, target, ("v", 1))
+    # Explicit None is just as unbounded.
+    retries = yield from reliable_send(
+        ctx, target, ("v", 2), tag="second", max_retries=None
+    )
+    yield
+    return retries

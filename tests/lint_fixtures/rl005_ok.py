@@ -1,0 +1,18 @@
+"""RL005 near-miss fixture: every reliable_send carries a finite bound."""
+
+from repro.congest import NodeContext, node_program, reliable_send
+
+
+@node_program
+def program(ctx: NodeContext):
+    target = min(ctx.neighbors)
+    retries = yield from reliable_send(ctx, target, ("v", 1), max_retries=3)
+    # Positional bound (ctx, target, payload, tag, max_retries).
+    retries = yield from reliable_send(ctx, target, ("v", 2), "second", 5)
+    # A computed bound: the rule cannot prove it infinite, so it trusts it.
+    budget = ctx.degree + 1
+    retries = yield from reliable_send(
+        ctx, target, ("v", 3), tag="third", max_retries=budget
+    )
+    yield
+    return retries

@@ -43,6 +43,13 @@ def test_motif_audit(capsys):
     assert "triangle-free? True" in out
 
 
+def test_fault_replay(capsys):
+    load_example("fault_replay.py").main()
+    out = capsys.readouterr().out
+    assert "replay is deterministic: True" in out
+    assert "agrees with baseline: True" in out
+
+
 def test_certified_topology(capsys):
     load_example("certified_topology.py").main()
     out = capsys.readouterr().out
