@@ -1,0 +1,195 @@
+"""Engine benchmark: batched + cached execution vs the cold naive baseline.
+
+Replays the E1 (decision rounds vs n) and E6 (counting) workloads in two
+modes:
+
+* ``naive``   — what every run cost before the execution engine: a cold
+  ``compile_formula`` per grid point (no table reuse between points) and
+  the round-by-round naive scheduler.
+* ``batched`` — the engine path: one shared, pre-warmed
+  :class:`repro.algebra.cache.AutomatonCache` (compiled automata, warm
+  transition tables, stable class ids) and the batched scheduler.
+
+Both modes run the exact same grid through
+:func:`repro.congest.parallel.run_sweep`, so per-point seeds are the
+sweep's deterministic shard seeds.  Verdicts are cross-checked between
+modes — a speedup that changes an answer is a bug, not a result.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py             # full grid
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke     # CI gate
+
+The full run writes ``BENCH_engine.json`` at the repo root and fails if
+either experiment's speedup drops below 1.5x; ``--smoke`` shrinks the
+grid and only requires the batched mode to not be slower (threshold
+1.0x), which is the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.algebra import AutomatonCache, compile_formula
+from repro.congest.parallel import run_sweep
+from repro.distributed import count_pipeline, decide_pipeline
+from repro.graph import generators as gen
+from repro.mso import formulas
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Shared state for the (module-level, hence picklable) sweep workers.
+_CACHE: AutomatonCache = AutomatonCache(persist=False)
+
+
+def _decide_formula():
+    return formulas.h_free(gen.triangle())
+
+
+def _count_formula():
+    return formulas.triangle_assignment()
+
+
+def _graph(params):
+    return gen.random_bounded_treedepth(
+        params["n"], depth=params["d"], seed=params["seed"] % 1000
+    )
+
+
+def decide_naive_worker(params):
+    automaton = compile_formula(_decide_formula())  # cold per point
+    out = decide_pipeline(
+        automaton, _graph(params), params["d"], engine="naive"
+    )
+    return {"verdict": out.accepted, "rounds": out.total_rounds}
+
+
+def decide_batched_worker(params):
+    automaton, codec = _CACHE.automaton_with_codec(
+        _decide_formula(), (), d=params["d"], labels=()
+    )
+    out = decide_pipeline(
+        automaton, _graph(params), params["d"], codec=codec, engine="batched"
+    )
+    return {"verdict": out.accepted, "rounds": out.total_rounds}
+
+
+def count_naive_worker(params):
+    formula, variables = _count_formula()
+    automaton = compile_formula(formula, variables)  # cold per point
+    out = count_pipeline(
+        automaton, _graph(params), params["d"], engine="naive"
+    )
+    return {"verdict": out.count, "rounds": out.total_rounds}
+
+
+def count_batched_worker(params):
+    formula, variables = _count_formula()
+    automaton, codec = _CACHE.automaton_with_codec(
+        formula, variables, d=params["d"], labels=()
+    )
+    out = count_pipeline(
+        automaton, _graph(params), params["d"], codec=codec, engine="batched"
+    )
+    return {"verdict": out.count, "rounds": out.total_rounds}
+
+
+EXPERIMENTS = {
+    "E1": (decide_naive_worker, decide_batched_worker),
+    "E6": (count_naive_worker, count_batched_worker),
+}
+
+
+def _grid(smoke):
+    sizes = (12,) if smoke else (16, 32, 64)
+    return [{"n": n, "d": 3} for n in sizes]
+
+
+def _timed_sweep(worker, grid, repeats):
+    best = None
+    results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = run_sweep(worker, grid, seed=0)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, results
+
+
+def run_experiment(name, grid, repeats):
+    naive_worker, batched_worker = EXPERIMENTS[name]
+    # Pre-warm the cache: one compile + one throwaway run per experiment,
+    # exactly what a prior process would have left on disk.
+    _timed_sweep(batched_worker, grid[:1], 1)
+    naive_seconds, naive_results = _timed_sweep(naive_worker, grid, repeats)
+    batched_seconds, batched_results = _timed_sweep(
+        batched_worker, grid, repeats
+    )
+    for a, b in zip(naive_results, batched_results):
+        if a.value != b.value:
+            raise SystemExit(
+                f"{name}: batched mode changed the answer at "
+                f"{a.shard.params!r}: {a.value!r} != {b.value!r}"
+            )
+    return {
+        "grid": [dict(point) for point in grid],
+        "repeats": repeats,
+        "naive_seconds": round(naive_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup": round(naive_seconds / batched_seconds, 2),
+        "checks": [r.value for r in naive_results],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid, threshold 1.0x (CI perf gate)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions per mode (min is kept)")
+    parser.add_argument("--out", default=None,
+                        help="result JSON path (full runs only; default "
+                             "BENCH_engine.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    threshold = 1.0 if args.smoke else 1.5
+    repeats = args.repeats or (1 if args.smoke else 3)
+    grid = _grid(args.smoke)
+
+    report = {
+        "benchmark": "engine",
+        "mode": "smoke" if args.smoke else "full",
+        "threshold_speedup": threshold,
+        "experiments": {},
+    }
+    failed = []
+    for name in EXPERIMENTS:
+        result = run_experiment(name, grid, repeats)
+        report["experiments"][name] = result
+        status = "ok" if result["speedup"] >= threshold else "SLOW"
+        if status == "SLOW":
+            failed.append(name)
+        print(f"{name}: naive {result['naive_seconds']}s, "
+              f"batched {result['batched_seconds']}s, "
+              f"speedup {result['speedup']}x (need >= {threshold}x) "
+              f"[{status}]")
+
+    if not args.smoke or args.out:
+        out = args.out or os.path.join(REPO_ROOT, "BENCH_engine.json")
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out}")
+
+    if failed:
+        print(f"FAIL: {', '.join(failed)} below {threshold}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

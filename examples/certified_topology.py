@@ -10,9 +10,9 @@ This is the PODC'22 certification baseline the paper builds on (Section 1).
 Run:  python examples/certified_topology.py
 """
 
-from repro.algebra import compile_formula
+from repro.api import Session
 from repro.certification import prove, verify
-from repro.distributed import decide
+from repro.algebra import cached_compile
 from repro.graph import generators
 from repro.mso import formulas
 
@@ -22,18 +22,16 @@ def main() -> None:
     print(f"overlay: {overlay.num_vertices()} sensors, "
           f"{overlay.num_edges()} links")
 
-    automaton = compile_formula(formulas.acyclic(), ())
+    # The one-call path: prove + verify in a single facade workload.
+    audit = Session(overlay, d=5).certify(formulas.acyclic())
+    print(f"certificates issued: max {audit.max_payload_bits} bits "
+          f"({audit.num_classes} homomorphism classes)")
+    print(f"audit: accepted={audit.verdict} in {audit.rounds} rounds")
 
-    # One-time: the coordinator (prover) assigns certificates.
+    # Tampering is caught — drop to the prover/verifier pair to forge a
+    # certificate by hand.
+    automaton = cached_compile(formulas.acyclic(), (), d=5)
     instance = prove(overlay, automaton)
-    print(f"certificates issued: max {instance.max_certificate_bits} bits "
-          f"({instance.codec.num_classes} homomorphism classes)")
-
-    # Every audit afterwards is one round.
-    audit = verify(overlay, automaton, instance)
-    print(f"audit: accepted={audit.accepted} in {audit.rounds} rounds")
-
-    # Tampering is caught.
     victim = 7
     parent, depth, bag, class_id = instance.certificates[victim]
     instance.certificates[victim] = (parent, depth + 1, bag, class_id)
@@ -43,8 +41,8 @@ def main() -> None:
     instance.certificates[victim] = (parent, depth, bag, class_id)
 
     # Contrast with re-deciding from scratch.
-    fresh = decide(automaton, overlay, d=5)
-    print(f"re-decision instead: {fresh.total_rounds} rounds "
+    fresh = Session(overlay, d=5).decide(formulas.acyclic())
+    print(f"re-decision instead: {fresh.rounds} rounds "
           f"(certification audit: {audit.rounds})")
 
 

@@ -12,32 +12,31 @@ Three acts on the same network and formula:
 Run:  python examples/fault_replay.py
 """
 
-from repro.algebra import compile_formula
-from repro.distributed import decide
+from repro.api import Session
 from repro.errors import FaultToleranceExceeded
 from repro.faults import FaultPlan, RetryPolicy
 from repro.graph import generators
 from repro.mso import formulas
 
 
-def attempt(automaton, network, plan=None, retry=None):
+def attempt(phi, network, plan=None, retry=None):
     """One pipeline run, folded to a printable verdict string."""
     try:
-        outcome = decide(automaton, network, d=3, faults=plan, retry=retry)
+        outcome = Session(network, d=3, faults=plan, retry=retry).decide(phi)
     except FaultToleranceExceeded:
         return "failed closed (FaultToleranceExceeded)", None
     if outcome.treedepth_exceeded:
         return "no verdict (reported td > d)", outcome
-    return f"accepted={outcome.accepted}", outcome
+    return f"accepted={outcome.verdict}", outcome
 
 
 def main() -> None:
     network = generators.random_bounded_treedepth(16, depth=3, seed=11)
-    automaton = compile_formula(formulas.h_free(generators.triangle()), ())
+    phi = formulas.h_free(generators.triangle())
 
     # Act 1 — the faultless baseline.
-    verdict, baseline = attempt(automaton, network)
-    print(f"baseline:  {verdict} in {baseline.total_rounds} rounds")
+    verdict, baseline = attempt(phi, network)
+    print(f"baseline:  {verdict} in {baseline.rounds} rounds")
 
     # Act 2 — 15% of all messages are destroyed, deterministically: the
     # plan serializes to JSON, and replaying the same JSON re-injects the
@@ -46,9 +45,9 @@ def main() -> None:
     replayed = FaultPlan.from_json(plan.to_json())
     assert replayed == plan
     print(f"plan:      {plan.describe()} (JSON round-trips)")
-    verdict, _ = attempt(automaton, network, plan=replayed)
+    verdict, _ = attempt(phi, network, plan=replayed)
     print(f"unprotected under loss: {verdict}")
-    again, _ = attempt(automaton, network, plan=replayed)
+    again, _ = attempt(phi, network, plan=replayed)
     print(f"replay is deterministic: {again == verdict}")
 
     # Act 3 — the redundancy-lockstep synchronizer: each logical round
@@ -56,13 +55,13 @@ def main() -> None:
     # probability 0.15^5.  The verdict matches the baseline or the run
     # fails closed; it is never silently wrong.
     verdict, hardened = attempt(
-        automaton, network, plan=replayed, retry=RetryPolicy(attempts=5)
+        phi, network, plan=replayed, retry=RetryPolicy(attempts=5)
     )
     print(f"with retries: {verdict}")
     if hardened is not None:
-        print(f"  agrees with baseline: {hardened.accepted == baseline.accepted}")
-        print(f"  cost: {hardened.total_rounds} physical rounds "
-              f"(baseline {baseline.total_rounds})")
+        print(f"  agrees with baseline: {hardened.verdict == baseline.verdict}")
+        print(f"  cost: {hardened.rounds} physical rounds "
+              f"(baseline {baseline.rounds})")
 
 
 if __name__ == "__main__":

@@ -13,8 +13,8 @@ decomposition.
 Run:  python examples/motif_audit.py
 """
 
-from repro.algebra import compile_formula, compile_with_singletons
-from repro.distributed import count_distributed, decide, decide_h_freeness
+from repro.api import Session
+from repro.distributed import decide_h_freeness
 from repro.expansion import grid_residue_decomposition
 from repro.graph import generators
 from repro.graph.properties import count_triangles, has_subgraph
@@ -27,18 +27,18 @@ def overlay_audit() -> None:
     )
     print(f"overlay: {overlay.num_vertices()} peers, {overlay.num_edges()} links")
 
+    session = Session(overlay, d=3)
     c4_free = formulas.h_free(generators.cycle(4))
-    verdict = decide(compile_formula(c4_free, ()), overlay, d=3)
-    print(f"C4-free? {verdict.accepted} "
+    verdict = session.decide(c4_free)
+    print(f"C4-free? {verdict.verdict} "
           f"(oracle: {not has_subgraph(overlay, generators.cycle(4))}) "
-          f"in {verdict.total_rounds} rounds")
+          f"in {verdict.rounds} rounds")
 
-    formula, variables = formulas.triangle_assignment()
-    automaton = compile_with_singletons(formula, variables)
-    counting = count_distributed(automaton, overlay, d=3)
+    formula, _variables = formulas.triangle_assignment()
+    counting = session.count(formula)
     triangles = counting.count // 6  # ordered triples -> triangles
     print(f"triangles: {triangles} (oracle: {count_triangles(overlay)}) "
-          f"in {counting.total_rounds} rounds")
+          f"in {counting.rounds} rounds")
 
 
 def mesh_audit() -> None:

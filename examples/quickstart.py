@@ -1,13 +1,13 @@
-"""Quickstart: distributed MSO model checking in five steps.
+"""Quickstart: distributed MSO model checking in four steps.
 
 We build a small network of bounded treedepth, write a property in MSO,
-and decide it in a constant number of CONGEST rounds (Theorem 6.1).
+and decide it in a constant number of CONGEST rounds (Theorem 6.1) — all
+through the high-level :class:`repro.api.Session` facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.algebra import compile_formula
-from repro.distributed import decide
+from repro.api import Session
 from repro.graph import generators
 from repro.mso import formulas, parse
 
@@ -22,30 +22,31 @@ def main() -> None:
     # 2. A property in MSO — from the catalog...
     two_colorable = formulas.k_colorable(2)
     # ...or parsed from text:
-    has_isolated_check = parse("forall x:V . exists y:V . adj(x, y)")
+    no_isolated_check = parse("forall x:V . exists y:V . adj(x, y)")
 
-    # 3. Compile each formula once into a tree automaton (the paper's
-    #    homomorphism classes; Theorem 4.2).
-    automaton = compile_formula(two_colorable, ())
-    degree_automaton = compile_formula(has_isolated_check, ())
+    # 3. A session binds the network to the treedepth promise; formulas
+    #    compile once into cached tree automata (the paper's homomorphism
+    #    classes; Theorem 4.2) and every workload returns one Result shape.
+    session = Session(network, d=3)
 
     # 4. Run the full distributed pipeline: Algorithm 2 builds the
     #    elimination tree, then one convergecast decides the formula.
-    outcome = decide(automaton, network, d=3)
-    print(f"2-colorable?      {outcome.accepted}")
-    print(f"  rounds          {outcome.total_rounds} "
-          f"(tree: {outcome.elimination_rounds}, check: {outcome.checking_rounds})")
-    print(f"  message budget  respected: max {outcome.max_message_bits} bits/edge/round")
-    print(f"  |C| observed    {outcome.num_classes} homomorphism classes on wires")
+    result = session.decide(two_colorable)
+    print(f"2-colorable?      {result.verdict}")
+    print(f"  rounds          {result.rounds} "
+          f"(tree: {result.phase_rounds['elimination']}, "
+          f"check: {result.phase_rounds['checking']})")
+    print(f"  message budget  respected: max {result.max_payload_bits} bits/edge/round")
+    print(f"  |C| observed    {result.num_classes} homomorphism classes on wires")
 
     # 5. The round count is independent of n: rerun on a 4x bigger network.
     big = generators.random_bounded_treedepth(96, depth=3, seed=43)
-    big_outcome = decide(automaton, big, d=3)
-    print(f"4x nodes -> rounds {big_outcome.total_rounds} "
-          f"(was {outcome.total_rounds}): constant in n")
+    big_result = Session(big, d=3).decide(two_colorable)
+    print(f"4x nodes -> rounds {big_result.rounds} "
+          f"(was {result.rounds}): constant in n")
 
-    no_isolated = decide(degree_automaton, network, d=3)
-    print(f"every node has a neighbor? {no_isolated.accepted}")
+    no_isolated = session.decide(no_isolated_check)
+    print(f"every node has a neighbor? {no_isolated.verdict}")
 
 
 if __name__ == "__main__":

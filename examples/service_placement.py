@@ -13,8 +13,7 @@ Run:  python examples/service_placement.py
 
 import random
 
-from repro.algebra import compile_formula
-from repro.distributed import optimize_distributed
+from repro.api import Session
 from repro.graph import Graph
 from repro.graph.properties import is_dominating_set, min_dominating_set
 from repro.mso import formulas, vertex_set
@@ -53,14 +52,14 @@ def main() -> None:
 
     s = vertex_set("S")
     predicate = formulas.dominating_set(s)
-    automaton = compile_formula(predicate, (s,))
 
-    outcome = optimize_distributed(automaton, wan, d=3, maximize=False)
-    assert outcome.feasible
+    outcome = Session(wan, d=3).optimize(predicate, sense="min")
+    assert outcome.verdict
     print(f"optimal hosting cost: {outcome.value}")
     print(f"hosting sites:        {sorted(outcome.witness)}")
-    print(f"rounds:               {outcome.total_rounds} "
-          f"(tree: {outcome.elimination_rounds}, tables: {outcome.optimization_rounds})")
+    print(f"rounds:               {outcome.rounds} "
+          f"(tree: {outcome.phase_rounds['elimination']}, "
+          f"tables: {outcome.phase_rounds['optimization']})")
     print(f"classes on wires:     {outcome.num_classes}")
 
     # Sanity: the selection is a dominating set and matches brute force.

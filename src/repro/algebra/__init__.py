@@ -20,6 +20,15 @@ from .automata import (
     TreeAutomaton,
     extend_symbol,
 )
+from .cache import (
+    CACHE_VERSION,
+    AutomatonCache,
+    cache_key,
+    cached_compile,
+    default_cache,
+    set_default_cache,
+    transition_table_bytes,
+)
 from .compiler import compile_formula, compile_with_singletons
 from .engine import (
     OptimizationResult,
@@ -40,8 +49,11 @@ from .symbols import (
 )
 
 __all__ = [
-    "AllVerticesInAutomaton", "ContainsPatternAutomaton",
-    "GraphDegreesAutomaton", "compile_with_singletons",
+    "AllVerticesInAutomaton", "AutomatonCache", "CACHE_VERSION",
+    "ContainsPatternAutomaton",
+    "GraphDegreesAutomaton", "cache_key", "cached_compile",
+    "compile_with_singletons", "default_cache", "set_default_cache",
+    "transition_table_bytes",
     "BaseStructure", "BaseSymbol", "ComplementAutomaton", "ConstAutomaton",
     "EdgeWitnessAutomaton", "EndpointsInAutomaton", "HasLabelAutomaton",
     "IncCountsAutomaton", "IntersectsAutomaton", "NonEmptyAutomaton",

@@ -1,0 +1,334 @@
+"""The high-level facade: one ``Session``, four workloads, one ``Result``.
+
+Everything the paper's pipeline can do — decide a closed MSO formula
+(Theorem 6.1), optimize max-φ/min-φ, count satisfying assignments (§6),
+and certify via the PODC'22 proof-labeling baseline — is reachable from a
+:class:`Session` bound to a graph and a treedepth promise ``d``::
+
+    from repro.api import Session
+    from repro.graph import generators
+    from repro.mso import formulas
+
+    session = Session(generators.cycle(8), d=3)
+    result = session.decide(formulas.triangle_free())
+    assert result.verdict is True
+
+Every workload returns the same frozen :class:`Result`, whose
+``replay_args`` reproduce the run exactly::
+
+    replay = Session(graph, d, **result.replay_args).decide(phi)
+
+A session compiles formulas through the process-wide
+:class:`~repro.algebra.cache.AutomatonCache` (transition tables and class
+ids persist across processes) and runs protocols on the batched engine by
+default — both differentially identical to the cold, naive baseline.
+The legacy entry points (``repro.distributed.decide``,
+``optimize_distributed``, ``count_distributed``) still work but emit
+``DeprecationWarning`` pointing here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple, Union
+
+from .algebra.cache import AutomatonCache, default_cache
+from .certification import prove, verify
+from .congest import ENGINES, INBOX_ORDERS
+from .distributed.counting import count_pipeline
+from .distributed.model_checking import decide_pipeline
+from .distributed.optimization import optimize_pipeline
+from .errors import ReproError
+from .graph import Graph
+from .mso import parse
+from .mso.syntax import Formula, Var, free_variables
+from .obs import Tracer
+
+__all__ = ["Result", "Session"]
+
+#: Workload names as they appear in :attr:`Result.workload`.
+WORKLOADS = ("decide", "optimize", "count", "certify")
+
+
+@dataclass(frozen=True)
+class Result:
+    """The common outcome shape of every :class:`Session` workload.
+
+    ``verdict`` is the workload's boolean headline — the decision for
+    ``decide``, feasibility for ``optimize``, "a count was produced" for
+    ``count``, verification acceptance for ``certify`` — and ``None`` when
+    the treedepth promise failed (``treedepth_exceeded=True``), in which
+    case no verdict about φ was computed at all.
+
+    ``replay_args`` are :class:`Session` keyword arguments:
+    ``Session(graph, d, **result.replay_args)`` re-runs the same schedule,
+    faults, retry policy, and engine, reproducing the run exactly.
+    """
+
+    workload: str
+    verdict: Optional[bool]
+    rounds: int
+    messages: int
+    max_payload_bits: int
+    replay_args: Mapping[str, Any]
+    treedepth_exceeded: bool = False
+    value: Optional[int] = None
+    witness: FrozenSet[Any] = frozenset()
+    count: Optional[int] = None
+    num_classes: int = 0
+    phase_rounds: Mapping[str, int] = field(default_factory=dict)
+
+
+class Session:
+    """A graph + treedepth promise + execution knobs, ready to run workloads.
+
+    Parameters
+    ----------
+    graph:
+        The network (must be connected for the CONGEST protocols).
+    d:
+        The treedepth promise handed to Algorithm 2.
+    faults / retry:
+        A :class:`repro.faults.FaultPlan` adversary and/or a
+        :class:`repro.faults.RetryPolicy` reliability layer, applied to
+        every protocol phase (ignored by ``certify``, whose prover is
+        centralized and whose verifier is a single round).
+    trace:
+        ``True`` to record a fresh :class:`repro.obs.Tracer` (exposed as
+        ``session.tracer``), or a Tracer instance to record into.
+    seed / inbox_order:
+        The simulator's adversarial delivery knobs (see
+        :class:`repro.congest.Simulation`).
+    budget:
+        Per-edge per-round bit budget override (default O(log n)).
+    engine:
+        ``"batched"`` (default) or ``"naive"`` — differentially identical
+        schedulers; batched is the fast one.
+    cache:
+        An :class:`~repro.algebra.cache.AutomatonCache`; defaults to the
+        process-wide persistent cache.  Compiled automata and class ids
+        are shared across sessions and processes.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        d: int,
+        *,
+        faults: Optional[Any] = None,
+        retry: Optional[Any] = None,
+        trace: Union[Tracer, bool, None] = None,
+        seed: Optional[int] = None,
+        inbox_order: str = "arrival",
+        budget: Optional[int] = None,
+        engine: str = "batched",
+        cache: Optional[AutomatonCache] = None,
+    ):
+        if engine not in ENGINES:
+            raise ReproError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if inbox_order not in INBOX_ORDERS:
+            raise ReproError(
+                f"unknown inbox order {inbox_order!r}; "
+                f"choose from {INBOX_ORDERS}"
+            )
+        self.graph = graph
+        self.d = d
+        self.faults = faults
+        self.retry = retry
+        self.seed = seed
+        self.inbox_order = inbox_order
+        self.budget = budget
+        self.engine = engine
+        self.cache = cache if cache is not None else default_cache()
+        if trace is True:
+            self.tracer: Optional[Tracer] = Tracer()
+        elif isinstance(trace, Tracer):
+            self.tracer = trace
+        else:
+            self.tracer = None
+
+    # -- shared plumbing -------------------------------------------------
+
+    @property
+    def replay_args(self) -> Dict[str, Any]:
+        """Session kwargs reproducing this session's executions exactly."""
+        return {
+            "seed": self.seed,
+            "inbox_order": self.inbox_order,
+            "faults": self.faults,
+            "retry": self.retry,
+            "budget": self.budget,
+            "engine": self.engine,
+        }
+
+    def _formula(self, phi: Union[Formula, str]) -> Formula:
+        if isinstance(phi, str):
+            return parse(phi)
+        return phi
+
+    def _labels(self) -> Tuple[str, ...]:
+        labels = set()
+        for v in self.graph.vertices():
+            labels |= self.graph.vertex_labels(v)
+        for u, v in self.graph.edges():
+            labels |= self.graph.edge_labels(u, v)
+        return tuple(sorted(labels))
+
+    def _compiled(self, phi: Formula, scope: Tuple[Var, ...],
+                  singletons: bool = False):
+        return self.cache.automaton_with_codec(
+            phi, scope, d=self.d, labels=self._labels(), singletons=singletons,
+        )
+
+    def _run_kwargs(self) -> Dict[str, Any]:
+        return {
+            "budget": self.budget,
+            "tracer": self.tracer,
+            "inbox_order": self.inbox_order,
+            "seed": self.seed,
+            "faults": self.faults,
+            "retry": self.retry,
+            "engine": self.engine,
+        }
+
+    # -- workloads -------------------------------------------------------
+
+    def decide(self, phi: Union[Formula, str]) -> Result:
+        """Decide the closed formula ``phi`` (Theorem 6.1)."""
+        phi = self._formula(phi)
+        if free_variables(phi):
+            raise ReproError(
+                "decide needs a closed formula; use optimize/count for "
+                "formulas with free variables"
+            )
+        automaton, codec = self._compiled(phi, ())
+        out = decide_pipeline(
+            automaton, self.graph, self.d, codec=codec, **self._run_kwargs(),
+        )
+        self.cache.save_warm()
+        return Result(
+            workload="decide",
+            verdict=None if out.treedepth_exceeded else out.accepted,
+            rounds=out.total_rounds,
+            messages=out.total_messages,
+            max_payload_bits=out.max_message_bits,
+            replay_args=self.replay_args,
+            treedepth_exceeded=out.treedepth_exceeded,
+            num_classes=out.num_classes,
+            phase_rounds={
+                "elimination": out.elimination_rounds,
+                "checking": out.checking_rounds,
+            },
+        )
+
+    def optimize(
+        self,
+        phi: Union[Formula, str],
+        weights: Optional[Mapping[Any, int]] = None,
+        sense: str = "max",
+    ) -> Result:
+        """Solve max-φ / min-φ for ``phi`` with one free set variable.
+
+        ``weights`` optionally overrides item weights: vertex keys set
+        vertex weights, ``(u, v)`` tuple keys set edge weights (on a copy
+        of the session graph; the original is untouched).  ``sense`` is
+        ``"max"`` or ``"min"``.
+        """
+        if sense not in ("max", "min"):
+            raise ReproError(f"sense must be 'max' or 'min', not {sense!r}")
+        phi = self._formula(phi)
+        scope = tuple(sorted(free_variables(phi), key=lambda v: v.name))
+        if len(scope) != 1 or not scope[0].sort.is_set:
+            raise ReproError(
+                "optimize needs exactly one free set variable in phi"
+            )
+        graph = self.graph
+        if weights:
+            graph = graph.copy()
+            for key, weight in weights.items():
+                if isinstance(key, tuple) and len(key) == 2 \
+                        and graph.has_edge(*key):
+                    graph.set_edge_weight(key[0], key[1], weight)
+                elif graph.has_vertex(key):
+                    graph.set_vertex_weight(key, weight)
+                else:
+                    raise ReproError(
+                        f"weight key {key!r} is neither a vertex nor an "
+                        "edge of the session graph"
+                    )
+        automaton, codec = self._compiled(phi, scope)
+        out = optimize_pipeline(
+            automaton, graph, self.d, maximize=(sense == "max"),
+            codec=codec, **self._run_kwargs(),
+        )
+        self.cache.save_warm()
+        return Result(
+            workload="optimize",
+            verdict=None if out.treedepth_exceeded else out.feasible,
+            rounds=out.total_rounds,
+            messages=out.total_messages,
+            max_payload_bits=out.max_message_bits,
+            replay_args=self.replay_args,
+            treedepth_exceeded=out.treedepth_exceeded,
+            value=out.value,
+            witness=out.witness,
+            num_classes=out.num_classes,
+            phase_rounds={
+                "elimination": out.elimination_rounds,
+                "optimization": out.optimization_rounds,
+            },
+        )
+
+    def count(self, phi: Union[Formula, str]) -> Result:
+        """Count satisfying assignments of ``phi``'s free variables (§6)."""
+        phi = self._formula(phi)
+        scope = tuple(sorted(free_variables(phi), key=lambda v: v.name))
+        if not scope:
+            raise ReproError("count needs at least one free variable in phi")
+        singletons = any(not v.sort.is_set for v in scope)
+        automaton, codec = self._compiled(phi, scope, singletons=singletons)
+        out = count_pipeline(
+            automaton, self.graph, self.d, codec=codec, **self._run_kwargs(),
+        )
+        self.cache.save_warm()
+        return Result(
+            workload="count",
+            verdict=None if out.treedepth_exceeded else True,
+            rounds=out.total_rounds,
+            messages=out.total_messages,
+            max_payload_bits=out.max_message_bits,
+            replay_args=self.replay_args,
+            treedepth_exceeded=out.treedepth_exceeded,
+            count=out.count,
+            num_classes=out.num_classes,
+            phase_rounds={
+                "elimination": out.elimination_rounds,
+                "counting": out.counting_rounds,
+            },
+        )
+
+    def certify(self, phi: Union[Formula, str]) -> Result:
+        """Prove + verify ``phi`` via the PODC'22 certification baseline.
+
+        Raises :class:`repro.errors.CertificationError` when the graph
+        does not satisfy ``phi`` (a prover cannot certify a false
+        statement).  Fault/retry session knobs do not apply: the prover is
+        centralized and the verifier runs a single round.
+        """
+        phi = self._formula(phi)
+        if free_variables(phi):
+            raise ReproError("certify needs a closed formula")
+        automaton, _codec = self._compiled(phi, ())
+        instance = prove(self.graph, automaton)
+        audit = verify(self.graph, automaton, instance, engine=self.engine)
+        self.cache.save_warm()
+        return Result(
+            workload="certify",
+            verdict=audit.accepted,
+            rounds=audit.rounds,
+            messages=audit.total_messages,
+            max_payload_bits=instance.max_certificate_bits,
+            replay_args=self.replay_args,
+            num_classes=instance.codec.num_classes,
+            phase_rounds={"verification": audit.rounds},
+        )

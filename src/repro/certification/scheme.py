@@ -202,12 +202,14 @@ class VerificationResult:
     rejecting_nodes: Tuple[Vertex, ...]
     rounds: int
     max_certificate_bits: int
+    total_messages: int = 0
 
 
 def verify(
     graph: Graph,
     automaton: TreeAutomaton,
     instance: CertifiedInstance,
+    engine: str = "naive",
 ) -> VerificationResult:
     """Run the 1-round verifier on the given certificate assignment.
 
@@ -239,6 +241,7 @@ def verify(
         inputs=inputs,
         budget=budget,
         max_rounds=10,
+        engine=engine,
     )
     rejecting = tuple(sorted(v for v, ok in result.outputs.items() if not ok))
     return VerificationResult(
@@ -246,4 +249,5 @@ def verify(
         rejecting_nodes=rejecting,
         rounds=result.rounds,
         max_certificate_bits=instance.max_certificate_bits,
+        total_messages=result.metrics.total_messages,
     )

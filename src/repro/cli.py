@@ -31,12 +31,11 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from .algebra import compile_formula, compile_with_singletons
+from .algebra import compile_formula
 from .algebra import check as sequential_check
 from .algebra import count as sequential_count
 from .algebra import optimize as sequential_optimize
-from .certification import prove, verify
-from .distributed import count_distributed, decide, optimize_distributed
+from .api import Session
 from .errors import ReproError
 from .graph import Graph, generators
 from .graph.io import read_graph
@@ -150,21 +149,27 @@ def _resolve_formula(args: argparse.Namespace):
     raise ReproError("provide --catalog NAME or --formula TEXT")
 
 
+def _session(graph: Graph, args: argparse.Namespace, **kwargs) -> Session:
+    return Session(graph, args.d, engine=getattr(args, "engine", "batched"),
+                   **kwargs)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(_graph_spec(args))
     formula = _resolve_formula(args)
-    automaton = compile_formula(formula, ())
     if args.congest:
-        outcome = decide(automaton, graph, d=args.d)
-        if outcome.treedepth_exceeded:
+        result = _session(graph, args).decide(formula)
+        if result.treedepth_exceeded:
             print(f"treedepth exceeded: td(G) > {args.d}")
             return 2
-        print(f"result: {outcome.accepted}")
-        print(f"rounds: {outcome.total_rounds} "
-              f"(tree {outcome.elimination_rounds} + check {outcome.checking_rounds})")
-        print(f"max message bits: {outcome.max_message_bits}")
-        print(f"classes: {outcome.num_classes}")
-        return 0 if outcome.accepted else 1
+        print(f"result: {result.verdict}")
+        print(f"rounds: {result.rounds} "
+              f"(tree {result.phase_rounds['elimination']} "
+              f"+ check {result.phase_rounds['checking']})")
+        print(f"max message bits: {result.max_payload_bits}")
+        print(f"classes: {result.num_classes}")
+        return 0 if result.verdict else 1
+    automaton = compile_formula(formula, ())
     forest = best_heuristic_forest(graph)
     verdict = sequential_check(formula, graph, forest, automaton)
     print(f"result: {verdict}")
@@ -182,19 +187,21 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     maximize = default_maximize if args.direction == "auto" else args.direction == "max"
     var = Var("S", _SORTS[sort_name])
     formula = factory(var)
-    automaton = compile_formula(formula, (var,))
     if args.congest:
-        outcome = optimize_distributed(automaton, graph, d=args.d, maximize=maximize)
-        if outcome.treedepth_exceeded:
+        result = _session(graph, args).optimize(
+            formula, sense="max" if maximize else "min"
+        )
+        if result.treedepth_exceeded:
             print(f"treedepth exceeded: td(G) > {args.d}")
             return 2
-        if not outcome.feasible:
+        if not result.verdict:
             print("infeasible")
             return 1
-        print(f"optimum: {outcome.value}")
-        print(f"witness: {sorted(outcome.witness)}")
-        print(f"rounds: {outcome.total_rounds}")
+        print(f"optimum: {result.value}")
+        print(f"witness: {sorted(result.witness)}")
+        print(f"rounds: {result.rounds}")
         return 0
+    automaton = compile_formula(formula, (var,))
     forest = best_heuristic_forest(graph)
     result = sequential_optimize(formula, graph, forest, var, maximize=maximize,
                                  automaton=automaton)
@@ -210,15 +217,17 @@ def _cmd_count(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(_graph_spec(args))
     if args.triangles:
         formula, variables = formulas.triangle_assignment()
-        automaton = compile_with_singletons(formula, variables)
         if args.congest:
-            outcome = count_distributed(automaton, graph, d=args.d)
-            if outcome.treedepth_exceeded:
+            result = _session(graph, args).count(formula)
+            if result.treedepth_exceeded:
                 print(f"treedepth exceeded: td(G) > {args.d}")
                 return 2
-            print(f"triangles: {outcome.count // 6}")
-            print(f"rounds: {outcome.total_rounds}")
+            print(f"triangles: {result.count // 6}")
+            print(f"rounds: {result.rounds}")
             return 0
+        from .algebra import compile_with_singletons
+
+        automaton = compile_with_singletons(formula, variables)
         forest = best_heuristic_forest(graph)
         total = sequential_count(formula, graph, forest, variables, automaton)
         print(f"triangles: {total // 6}")
@@ -244,13 +253,11 @@ def _cmd_treedepth(args: argparse.Namespace) -> int:
 def _cmd_certify(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(_graph_spec(args))
     formula = _resolve_formula(args)
-    automaton = compile_formula(formula, ())
-    instance = prove(graph, automaton)
-    audit = verify(graph, automaton, instance)
-    print(f"certificates: max {instance.max_certificate_bits} bits, "
-          f"{instance.codec.num_classes} classes")
-    print(f"verification: accepted={audit.accepted} in {audit.rounds} rounds")
-    return 0 if audit.accepted else 1
+    result = _session(graph, args).certify(formula)
+    print(f"certificates: max {result.max_payload_bits} bits, "
+          f"{result.num_classes} classes")
+    print(f"verification: accepted={result.verdict} in {result.rounds} rounds")
+    return 0 if result.verdict else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -321,30 +328,29 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.formula:
         args.catalog = None  # an explicit formula beats the catalog default
     formula = _resolve_formula(args)
-    automaton = compile_formula(formula, ())
     retry = RetryPolicy(attempts=args.retries) if args.retries > 0 else None
     tracer = Tracer() if args.jsonl else None
     print(f"plan: {plan.describe()}")
     if retry is not None:
         print(f"retry: {retry.attempts} copies per logical round")
+    session = _session(graph, args, seed=args.seed, faults=plan, retry=retry,
+                       trace=tracer)
     try:
-        outcome = decide(
-            automaton, graph, d=args.d, tracer=tracer,
-            seed=args.seed, faults=plan, retry=retry,
-        )
+        result = session.decide(formula)
     except FaultToleranceExceeded as exc:
         print(f"fault tolerance exceeded: {exc}")
         _write_fault_trace(tracer, args.jsonl)
         return 3
     _write_fault_trace(tracer, args.jsonl)
-    if outcome.treedepth_exceeded:
+    if result.treedepth_exceeded:
         print(f"treedepth exceeded: td(G) > {args.d}")
         return 2
-    print(f"result: {outcome.accepted}")
-    print(f"rounds: {outcome.total_rounds} "
-          f"(tree {outcome.elimination_rounds} + check {outcome.checking_rounds})")
-    print(f"max message bits: {outcome.max_message_bits}")
-    return 0 if outcome.accepted else 1
+    print(f"result: {result.verdict}")
+    print(f"rounds: {result.rounds} "
+          f"(tree {result.phase_rounds['elimination']} "
+          f"+ check {result.phase_rounds['checking']})")
+    print(f"max message bits: {result.max_payload_bits}")
+    return 0 if result.verdict else 1
 
 
 def _write_fault_trace(tracer: Optional[Tracer], path: Optional[str]) -> None:
@@ -393,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the distributed protocol instead of Algorithm 1")
         p.add_argument("--d", type=int, default=3,
                        help="treedepth promise for CONGEST runs (default 3)")
+        p.add_argument("--engine", choices=["batched", "naive"],
+                       default="batched",
+                       help="round scheduler for CONGEST runs (differentially "
+                       "identical; batched is the fast one)")
         if formula:
             p.add_argument("--catalog", help="a catalog formula name")
             p.add_argument("--formula", help="an MSO formula in text syntax")
@@ -474,6 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(0 = no reliability layer)")
     p_faults.add_argument("--d", type=int, default=3,
                           help="treedepth promise (default 3)")
+    p_faults.add_argument("--engine", choices=["batched", "naive"],
+                          default="batched",
+                          help="round scheduler (differentially identical)")
     p_faults.add_argument("--seed", type=int, default=None,
                           help="inbox-order seed for the simulator")
     p_faults.add_argument("--catalog", default="triangle-free",

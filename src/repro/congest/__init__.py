@@ -14,8 +14,10 @@ from .primitives import (
     reliable_send,
     send_items_to,
 )
+from .parallel import Shard, ShardResult, merge_metrics, run_sweep, shard_seed
 from .registry import iter_registered, node_program, registered_programs
 from .runtime import (
+    ENGINES,
     INBOX_ORDERS,
     Inbox,
     NodeContext,
@@ -27,11 +29,12 @@ from .runtime import (
 )
 
 __all__ = [
-    "INBOX_ORDERS", "Inbox", "ItemCollector", "NodeContext", "NodeProgram",
-    "Payload", "RoundMetrics", "Simulation", "SimulationResult",
-    "broadcast_from_root", "check_payload", "default_budget",
-    "exchange_with_neighbors", "flood_value", "fragment_payload", "idle",
-    "int_bits", "iter_registered", "leader_election", "node_program",
-    "ordered_inbox", "payload_bits", "registered_programs", "reliable_recv",
-    "reliable_send", "run_protocol", "send_items_to",
+    "ENGINES", "INBOX_ORDERS", "Inbox", "ItemCollector", "NodeContext",
+    "NodeProgram", "Payload", "RoundMetrics", "Shard", "ShardResult",
+    "Simulation", "SimulationResult", "broadcast_from_root", "check_payload",
+    "default_budget", "exchange_with_neighbors", "flood_value",
+    "fragment_payload", "idle", "int_bits", "iter_registered",
+    "leader_election", "merge_metrics", "node_program", "ordered_inbox",
+    "payload_bits", "registered_programs", "reliable_recv", "reliable_send",
+    "run_protocol", "run_sweep", "send_items_to", "shard_seed",
 ]

@@ -63,6 +63,22 @@ class RoundMetrics:
             self.per_round_messages[-1] += 1
             self.per_round_bits[-1] += bits
 
+    def record_message_batch(self, count: int, bits: int, max_bits: int) -> None:
+        """Fold one round's accumulated message counters in at once.
+
+        Used by the batched engine (array-backed accumulation): ``count``
+        messages totalling ``bits`` bits, the largest being ``max_bits``,
+        all sent in the current round.  The resulting metrics state is
+        identical to ``count`` individual :meth:`record_message` calls.
+        """
+        self.total_messages += count
+        self.total_bits += bits
+        if max_bits > self.max_message_bits:
+            self.max_message_bits = max_bits
+        if self.per_round_messages:
+            self.per_round_messages[-1] += count
+            self.per_round_bits[-1] += bits
+
     def peak_round_messages(self) -> Tuple[int, int]:
         """(1-based round, message count) of the busiest round by messages."""
         if not self.per_round_messages:

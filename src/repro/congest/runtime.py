@@ -144,17 +144,24 @@ class SimulationResult:
     inbox_order: str = "arrival"
     fault_plan: Optional[Any] = None
     crashed: Dict[Vertex, int] = field(default_factory=dict)
+    engine: str = "naive"
 
     @property
     def rounds(self) -> int:
         return self.metrics.rounds
 
     def replay_args(self) -> Dict[str, Any]:
-        """Keyword arguments reproducing this run's schedule and faults."""
+        """Keyword arguments reproducing this run's schedule and faults.
+
+        Includes ``engine``: a replay must use the scheduler of the
+        original run — the engines are differentially identical, but a
+        replay that silently switched scheduler would not be a replay.
+        """
         return {
             "seed": self.seed,
             "inbox_order": self.inbox_order,
             "faults": self.fault_plan,
+            "engine": self.engine,
         }
 
     @property
@@ -180,6 +187,9 @@ class SimulationResult:
 #: Accepted inbox delivery orders (see :class:`Simulation`).
 INBOX_ORDERS = ("arrival", "shuffle", "sorted", "reversed")
 
+#: Accepted round schedulers (see :class:`Simulation`).
+ENGINES = ("naive", "batched")
+
 
 class Simulation:
     """One synchronous execution of a node program on a network graph.
@@ -202,6 +212,22 @@ class Simulation:
     on schedule.  Every injected fault is counted in
     ``metrics.faults_injected`` and emitted as a typed trace event.  A null
     plan (all rates zero, no crashes) is byte-for-byte transparent.
+
+    ``engine`` selects the round scheduler:
+
+    * ``"naive"`` (default) — the historical reference loop: per-round
+      ``sorted()`` scheduling, fresh inbox dicts, per-message metric
+      updates;
+    * ``"batched"`` — a single dispatch loop that advances all runnable
+      programs through preallocated per-node inbox buffers, memoizes
+      payload bit-measurement (payloads are hashable by construction),
+      caches adjacency sets, and flushes message metrics once per round
+      instead of once per message.  The observable execution — outputs,
+      trace events, metrics, round/message/bit counts — is byte-identical
+      to ``"naive"``; only the wall clock differs.  Because inbox buffers
+      are reused, a node program must not retain its inbox dict across
+      ``yield`` boundaries (none of the shipped protocols do; the
+      ``repro lint`` rules already discourage it).
     """
 
     def __init__(
@@ -217,12 +243,17 @@ class Simulation:
         inbox_order: str = "arrival",
         seed: Optional[int] = None,
         faults: Optional[Any] = None,
+        engine: str = "naive",
     ):
         if graph.num_vertices() == 0:
             raise CongestError("CONGEST needs at least one node")
         if inbox_order not in INBOX_ORDERS:
             raise CongestError(
                 f"unknown inbox_order {inbox_order!r}; choose from {INBOX_ORDERS}"
+            )
+        if engine not in ENGINES:
+            raise CongestError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
             )
         self._graph = graph
         self._program = program
@@ -251,11 +282,24 @@ class Simulation:
         # Explicit tracer wins; otherwise pick up a process-installed one
         # (the REPRO_TRACE / ``repro trace`` path).  None = fully disabled.
         self.tracer = tracer if tracer is not None else current_tracer()
+        self.engine = engine
+        self._batched = engine == "batched"
+        # Batched-engine kernels: payload-size memo (payloads are hashable
+        # algebraic values), cached adjacency sets, and per-round message
+        # accumulators flushed into the metrics arrays once per round.
+        self._bits_memo: Dict[Payload, int] = {}
+        self._adjacency: Dict[Vertex, frozenset] = {}
+        self._acc_msgs = 0
+        self._acc_bits = 0
+        self._acc_max = 0
 
     # -- internal -------------------------------------------------------
     def _queue_message(self, sender: Vertex, receiver: Vertex, payload: Payload) -> None:
         if not self._sending_open:
             raise CongestError("send outside of a round")
+        if self._batched:
+            self._queue_message_batched(sender, receiver, payload)
+            return
         if not self._graph.has_edge(sender, receiver):
             raise CongestError(f"{sender!r} is not adjacent to {receiver!r}")
         key = (sender, receiver)
@@ -277,6 +321,60 @@ class Simulation:
                 )
             else:
                 self.metrics.trace_truncated = True
+
+    def _queue_message_batched(
+        self, sender: Vertex, receiver: Vertex, payload: Payload
+    ) -> None:
+        """Fast-path send: memoized sizes, cached adjacency, batched metrics.
+
+        Raises exactly the same errors with exactly the same messages as
+        the naive path; the only difference is where the cycles go.
+        """
+        if receiver not in self._adjacency[sender]:
+            raise CongestError(f"{sender!r} is not adjacent to {receiver!r}")
+        key = (sender, receiver)
+        if key in self._outgoing:
+            raise CongestError(
+                f"node {sender!r} already sent to {receiver!r} this round"
+            )
+        memo = self._bits_memo
+        try:
+            bits = memo.get(payload)
+        except TypeError:
+            # Unhashable values are never valid payloads; let the measuring
+            # path raise the canonical PayloadTypeError.
+            bits = None
+            memo = None
+        if bits is None:
+            bits = payload_bits(payload)
+            if memo is not None:
+                memo[payload] = bits
+        if bits > self._round_budget:
+            raise MessageTooLargeError(bits, self._round_budget)
+        self._outgoing[key] = payload
+        self._acc_msgs += 1
+        self._acc_bits += bits
+        if bits > self._acc_max:
+            self._acc_max = bits
+        if self.tracer is not None:
+            self.tracer.on_send(sender, receiver, bits, payload)
+        if self._trace_enabled:
+            if len(self.trace) < self._trace_limit:
+                self.trace.append(
+                    (self.metrics.rounds, sender, receiver, payload)
+                )
+            else:
+                self.metrics.trace_truncated = True
+
+    def _flush_round_metrics(self) -> None:
+        """Fold the batched engine's per-round accumulators into metrics."""
+        if self._acc_msgs:
+            self.metrics.record_message_batch(
+                self._acc_msgs, self._acc_bits, self._acc_max
+            )
+            self._acc_msgs = 0
+            self._acc_bits = 0
+            self._acc_max = 0
 
     def _arrange_inbox(self, inbox: Inbox) -> Inbox:
         """Apply the configured adversarial inbox iteration order."""
@@ -331,6 +429,11 @@ class Simulation:
                 "(metrics and node state would otherwise double-count)"
             )
         self._ran = True
+        if self._batched:
+            return self._run_batched()
+        return self._run_naive()
+
+    def _run_naive(self) -> SimulationResult:
         n = self._graph.num_vertices()
         contexts = {
             v: NodeContext(
@@ -448,16 +551,19 @@ class Simulation:
             if not self._outgoing and not generators \
                     and not self._has_pending_restart():
                 break
+        return self._finish(outputs)
+
+    def _finish(self, outputs: Dict[Vertex, Any]) -> SimulationResult:
         # Messages queued in the sweep where the last generators halted
         # have no living receiver to ever observe them.  Count them so
         # harnesses (and tests) can detect silently dropped final sends —
         # the dynamic face of the RL003 lint rule.  In-flight delayed or
         # duplicated fault copies that never matured count too.
         self.metrics.undelivered_messages = len(self._outgoing)
-        if injector is not None:
-            self.metrics.undelivered_messages += injector.pending_copies
-        if tracer is not None:
-            tracer.finish()
+        if self._injector is not None:
+            self.metrics.undelivered_messages += self._injector.pending_copies
+        if self.tracer is not None:
+            self.tracer.finish()
         return SimulationResult(
             outputs=outputs,
             metrics=self.metrics,
@@ -465,7 +571,186 @@ class Simulation:
             inbox_order=self._inbox_order,
             fault_plan=self._fault_plan,
             crashed=dict(self.crashed),
+            engine=self.engine,
         )
+
+    def _run_batched(self) -> SimulationResult:
+        """The batched round scheduler (``engine="batched"``).
+
+        One dispatch loop advances every runnable program per round.  The
+        hot-path differences from :meth:`_run_naive` — and nothing else:
+
+        * the scheduling order is a cached sorted snapshot, re-sorted only
+          when membership changes (halt / crash / restart) instead of every
+          round;
+        * inboxes are preallocated per-node buffers, cleared and refilled
+          in place instead of allocated per round;
+        * payload sizes come from a memo table (payloads are hashable
+          values measured by a pure function);
+        * adjacency checks hit cached neighbor sets;
+        * message metrics accumulate in plain counters and are flushed
+          into the per-round arrays once per round.
+
+        Every observable artifact (outputs, metrics, trace, tracer events,
+        errors) is byte-identical to the naive engine; the differential
+        test in ``tests/test_engine_batched.py`` pins this.
+        """
+        graph = self._graph
+        n = graph.num_vertices()
+        self._adjacency = {
+            v: frozenset(graph.neighbors(v)) for v in graph.vertices()
+        }
+        contexts = {
+            v: NodeContext(
+                node=v,
+                neighbors=graph.neighbors(v),
+                n=n,
+                input_data=dict(self._inputs.get(v, {})),
+                simulation=self,
+            )
+            for v in graph.vertices()
+        }
+        generators: Dict[Vertex, Generator[None, Inbox, Any]] = {}
+        outputs: Dict[Vertex, Any] = {}
+
+        tracer = self.tracer
+        injector = self._injector
+        metrics = self.metrics
+        bits_memo = self._bits_memo
+        arrival = self._inbox_order == "arrival"
+
+        # Preallocated inbox buffers, reused round over round.  ``touched``
+        # remembers which buffers hold data so only those are cleared.
+        inboxes: Dict[Vertex, Inbox] = {v: {} for v in graph.vertices()}
+        touched: List[Vertex] = []
+
+        # Round 1: local computation + first sends (same as naive).
+        metrics.record_round()
+        if tracer is not None:
+            tracer.on_round_start()
+        if injector is not None:
+            for node in injector.crashes_at(1):
+                self.crashed[node] = 1
+                injector.note_crash(1, node, metrics, tracer)
+            self._round_budget = injector.budget_for(
+                1, metrics.budget_bits, metrics, tracer
+            )
+        self._sending_open = True
+        for v in graph.vertices():
+            if v in self.crashed:
+                continue
+            gen = self._program(contexts[v])
+            try:
+                next(gen)
+                generators[v] = gen
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                if tracer is not None:
+                    tracer.on_halt(v, stop.value)
+        self._sending_open = False
+        self._flush_round_metrics()
+
+        order: List[Vertex] = sorted(generators)
+        order_dirty = False
+
+        while generators or self._has_pending_restart():
+            if metrics.rounds >= self._max_rounds:
+                if injector is not None and metrics.total_faults > 0:
+                    raise FaultToleranceExceeded(
+                        f"exceeded max_rounds={self._max_rounds} under fault "
+                        "injection; the protocol did not terminate within "
+                        "its tolerance envelope",
+                        round=metrics.rounds,
+                    )
+                raise ProtocolError(
+                    f"exceeded max_rounds={self._max_rounds}; "
+                    "protocol is not terminating"
+                )
+            delivery = self._outgoing
+            self._outgoing = {}
+            metrics.record_round()
+            rnd = metrics.rounds
+            if tracer is not None:
+                tracer.on_round_start()
+
+            restarted: List[Vertex] = []
+            if injector is not None:
+                before = len(generators)
+                self._apply_crashes(rnd, generators)
+                restarted.extend(self._apply_restarts(rnd))
+                if restarted or len(generators) != before:
+                    order_dirty = True
+                self._round_budget = injector.budget_for(
+                    rnd, metrics.budget_bits, metrics, tracer
+                )
+                items: List[Tuple[Tuple[Vertex, Vertex], Payload]] = []
+                for (sender, receiver), payload in delivery.items():
+                    if receiver in self.crashed:
+                        injector.drop_for_crashed(
+                            rnd, sender, receiver, payload, metrics, tracer,
+                        )
+                        continue
+                    items.append(((sender, receiver), payload))
+                survivors = injector.process(rnd, items, metrics, tracer)
+            else:
+                survivors = [
+                    (sender, receiver, payload)
+                    for (sender, receiver), payload in delivery.items()
+                ]
+
+            for v in touched:
+                inboxes[v].clear()
+            touched = []
+            for sender, receiver, payload in survivors:
+                box = inboxes[receiver]
+                if not box:
+                    touched.append(receiver)
+                box[sender] = payload
+            if tracer is not None:
+                for sender, receiver, payload in survivors:
+                    try:
+                        bits = bits_memo[payload]
+                    except KeyError:
+                        bits = payload_bits(payload)
+                        bits_memo[payload] = bits
+                    except TypeError:
+                        bits = payload_bits(payload)
+                    tracer.on_deliver(sender, receiver, bits)
+
+            self._sending_open = True
+            for v in restarted:
+                gen = self._program(contexts[v])
+                try:
+                    next(gen)
+                    generators[v] = gen
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    if tracer is not None:
+                        tracer.on_halt(v, stop.value)
+            if order_dirty:
+                order = sorted(generators)
+                order_dirty = False
+            for v in order:
+                if v in restarted:
+                    continue  # a rebooted program starts fresh this round
+                inbox: Inbox = (
+                    inboxes[v] if arrival else self._arrange_inbox(inboxes[v])
+                )
+                gen = generators[v]
+                try:
+                    gen.send(inbox)
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    del generators[v]
+                    order_dirty = True
+                    if tracer is not None:
+                        tracer.on_halt(v, stop.value)
+            self._sending_open = False
+            self._flush_round_metrics()
+            if not self._outgoing and not generators \
+                    and not self._has_pending_restart():
+                break
+        return self._finish(outputs)
 
 
 def run_protocol(
@@ -478,9 +763,11 @@ def run_protocol(
     inbox_order: str = "arrival",
     seed: Optional[int] = None,
     faults: Optional[Any] = None,
+    engine: str = "naive",
 ) -> SimulationResult:
     """Convenience wrapper: build a Simulation and run it."""
     return Simulation(
         graph, program, inputs=inputs, budget=budget, max_rounds=max_rounds,
         tracer=tracer, inbox_order=inbox_order, seed=seed, faults=faults,
+        engine=engine,
     ).run()

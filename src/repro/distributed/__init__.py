@@ -1,7 +1,7 @@
 """The paper's distributed protocols (Algorithm 2, Theorem 6.1, §6-7)."""
 
 from .baselines import BaselineDecision, gather_decide
-from .counting import DistributedCount, count_distributed
+from .counting import DistributedCount, count_distributed, count_pipeline
 from .decomposition import (
     DistributedDecompositionResult,
     grid_coloring_program,
@@ -19,12 +19,14 @@ from .model_checking import (
     ClassCodec,
     DistributedDecision,
     decide,
+    decide_pipeline,
     node_inputs_from_elimination,
 )
 from .optimization import (
     DistributedOptimization,
     NodeSelection,
     optimize_distributed,
+    optimize_pipeline,
 )
 
 __all__ = [
@@ -43,11 +45,14 @@ __all__ = [
     "NodeSelection",
     "build_elimination_tree",
     "count_distributed",
+    "count_pipeline",
     "decide",
     "decide_h_freeness",
+    "decide_pipeline",
     "elimination_tree_program",
     "gather_decide",
     "node_inputs_from_elimination",
     "optimize_distributed",
+    "optimize_pipeline",
     "optmarked_distributed",
 ]

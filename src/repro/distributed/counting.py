@@ -17,7 +17,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import enumerate_symbol_choices
 from ..congest import Inbox, ItemCollector, NodeContext, node_program, run_protocol
-from ..errors import ProtocolError
+from ..errors import FaultToleranceExceeded, ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..obs import Tracer, current_tracer, maybe_phase
 from .elimination import build_elimination_tree
@@ -125,20 +125,43 @@ class DistributedCount:
     counting_rounds: int
     max_message_bits: int
     num_classes: int
+    total_messages: int = 0
 
 
-def count_distributed(
+def count_pipeline(
     automaton: TreeAutomaton,
     graph: Graph,
     d: int,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    inbox_order: str = "arrival",
+    seed: Optional[int] = None,
+    faults=None,
+    retry=None,
+    engine: str = "naive",
+    codec: Optional[ClassCodec] = None,
 ) -> DistributedCount:
-    """Run Algorithm 2 followed by the counting convergecast."""
+    """Run Algorithm 2 followed by the counting convergecast.
+
+    ``inbox_order`` / ``seed`` / ``faults`` / ``retry`` / ``engine`` have
+    the same semantics as in :func:`.model_checking.decide_pipeline`; any
+    crash raises :class:`~repro.errors.FaultToleranceExceeded` — a count
+    over a partial network is not the count.
+    """
     if not automaton.scope:
         raise ProtocolError("counting needs at least one free variable")
     tracer = tracer if tracer is not None else current_tracer()
-    elim = build_elimination_tree(graph, d, budget=budget, tracer=tracer)
+    elim = build_elimination_tree(
+        graph, d, budget=budget, tracer=tracer,
+        inbox_order=inbox_order, seed=seed, faults=faults, retry=retry,
+        engine=engine,
+    )
+    if elim.crashed:
+        raise FaultToleranceExceeded(
+            f"nodes {sorted(map(repr, elim.crashed))} crashed during "
+            "elimination; a count needs the whole network",
+            round=elim.rounds,
+        )
     if not elim.accepted:
         return DistributedCount(
             count=None,
@@ -148,17 +171,41 @@ def count_distributed(
             counting_rounds=0,
             max_message_bits=elim.max_message_bits,
             num_classes=0,
+            total_messages=elim.total_messages,
         )
     inputs = node_inputs_from_elimination(graph, elim)
-    codec = ClassCodec(automaton)
+    if codec is None:
+        codec = ClassCodec(automaton)
+    program = counting_program(automaton, codec)
+    run_budget = budget
+    max_rounds = 500_000
+    if retry is not None:
+        from ..congest import default_budget
+        from ..faults import reliable_program
+
+        program = reliable_program(program, retry)
+        if run_budget is None:
+            run_budget = default_budget(graph.num_vertices())
+        run_budget = retry.physical_budget(run_budget)
+        max_rounds = retry.physical_max_rounds(max_rounds)
     with maybe_phase(tracer, "counting"):
         result = run_protocol(
             graph,
-            counting_program(automaton, codec),
+            program,
             inputs=inputs,
-            budget=budget,
-            max_rounds=500_000,
+            budget=run_budget,
+            max_rounds=max_rounds,
             tracer=tracer,
+            inbox_order=inbox_order,
+            seed=seed,
+            faults=faults,
+            engine=engine,
+        )
+    if result.crashed:
+        raise FaultToleranceExceeded(
+            f"nodes {sorted(map(repr, result.crashed))} crashed during the "
+            "counting convergecast; the count cannot be trusted",
+            round=result.rounds,
         )
     counts = [c for c in result.outputs.values() if c is not None]
     if len(counts) != 1:
@@ -171,4 +218,24 @@ def count_distributed(
         counting_rounds=result.rounds,
         max_message_bits=max(elim.max_message_bits, result.metrics.max_message_bits),
         num_classes=codec.num_classes,
+        total_messages=elim.total_messages + result.metrics.total_messages,
     )
+
+
+def count_distributed(*args, **kwargs) -> DistributedCount:
+    """Deprecated alias of :func:`count_pipeline`.
+
+    .. deprecated:: 1.0
+        Use :class:`repro.api.Session` (``Session(graph, d).count(phi)``)
+        or :func:`count_pipeline` directly.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.distributed.count_distributed is deprecated; use "
+        "repro.api.Session(graph, d).count(phi) or "
+        "repro.distributed.count_pipeline",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return count_pipeline(*args, **kwargs)

@@ -202,6 +202,7 @@ class DistributedEliminationResult:
     max_message_bits: int
     crashed: Dict[Vertex, int] = field(default_factory=dict)
     retransmissions: int = 0
+    total_messages: int = 0
 
 
 def _elimination_max_rounds(graph: Graph, d: int) -> int:
@@ -217,6 +218,7 @@ def build_elimination_tree(
     seed: Optional[int] = None,
     faults=None,
     retry=None,
+    engine: str = "naive",
 ) -> DistributedEliminationResult:
     """Run Algorithm 2 on ``graph`` with treedepth bound ``d``.
 
@@ -261,6 +263,7 @@ def build_elimination_tree(
             inbox_order=inbox_order,
             seed=seed,
             faults=faults,
+            engine=engine,
         )
     outputs: Dict[Vertex, EliminationOutput] = result.outputs
     accepted = all(out.status == "ok" for out in outputs.values())
@@ -300,4 +303,5 @@ def build_elimination_tree(
         max_message_bits=result.metrics.max_message_bits,
         crashed=dict(result.crashed),
         retransmissions=result.metrics.retransmissions,
+        total_messages=result.metrics.total_messages,
     )

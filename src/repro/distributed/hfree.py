@@ -28,7 +28,7 @@ from ..errors import ProtocolError
 from ..expansion import LowTreedepthDecomposition, union_graph
 from ..graph import Graph
 from ..mso import formulas
-from .model_checking import decide
+from .model_checking import decide_pipeline
 
 
 @dataclass
@@ -98,7 +98,7 @@ def decide_h_freeness(
             outcome = None
             attempt_rounds = 0
             for d in range(1, bound + 1):
-                outcome = decide(automaton, piece, d=d, budget=budget)
+                outcome = decide_pipeline(automaton, piece, d=d, budget=budget)
                 attempt_rounds += outcome.total_rounds
                 if not outcome.treedepth_exceeded:
                     break

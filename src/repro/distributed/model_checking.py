@@ -148,6 +148,7 @@ class DistributedDecision:
     checking_rounds: int
     max_message_bits: int
     num_classes: int
+    total_messages: int = 0
 
 
 def node_inputs_from_elimination(
@@ -203,7 +204,7 @@ def _as_set(value: Any):
     return frozenset({value})
 
 
-def decide(
+def decide_pipeline(
     formula_automaton: TreeAutomaton,
     graph: Graph,
     d: int,
@@ -214,6 +215,8 @@ def decide(
     seed: Optional[int] = None,
     faults=None,
     retry=None,
+    engine: str = "naive",
+    codec: Optional[ClassCodec] = None,
 ) -> DistributedDecision:
     """Run the full pipeline: Algorithm 2, then the decision convergecast.
 
@@ -237,6 +240,7 @@ def decide(
     elim = build_elimination_tree(
         graph, d, budget=budget, tracer=tracer,
         inbox_order=inbox_order, seed=seed, faults=faults, retry=retry,
+        engine=engine,
     )
     if elim.crashed:
         raise FaultToleranceExceeded(
@@ -253,10 +257,12 @@ def decide(
             checking_rounds=0,
             max_message_bits=elim.max_message_bits,
             num_classes=0,
+            total_messages=elim.total_messages,
         )
     scope = formula_automaton.scope
     inputs = node_inputs_from_elimination(graph, elim, assignment, scope)
-    codec = ClassCodec(formula_automaton)
+    if codec is None:
+        codec = ClassCodec(formula_automaton)
     program = decision_program(formula_automaton, codec)
     run_budget = budget if budget is not None else default_budget(
         graph.num_vertices()
@@ -279,6 +285,7 @@ def decide(
             inbox_order=inbox_order,
             seed=seed,
             faults=faults,
+            engine=engine,
         )
     if result.crashed:
         raise FaultToleranceExceeded(
@@ -298,4 +305,24 @@ def decide(
         checking_rounds=result.rounds,
         max_message_bits=max(elim.max_message_bits, result.metrics.max_message_bits),
         num_classes=codec.num_classes,
+        total_messages=elim.total_messages + result.metrics.total_messages,
     )
+
+
+def decide(*args: Any, **kwargs: Any) -> DistributedDecision:
+    """Deprecated alias of :func:`decide_pipeline`.
+
+    .. deprecated:: 1.0
+        Use :class:`repro.api.Session` (``Session(graph, d).decide(phi)``)
+        or :func:`decide_pipeline` directly.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.distributed.decide is deprecated; use "
+        "repro.api.Session(graph, d).decide(phi) or "
+        "repro.distributed.decide_pipeline",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return decide_pipeline(*args, **kwargs)

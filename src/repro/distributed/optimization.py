@@ -24,7 +24,7 @@ from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import SymbolChoice, enumerate_symbol_choices
 from ..congest import Inbox, ItemCollector, NodeContext, node_program, run_protocol
-from ..errors import ProtocolError
+from ..errors import FaultToleranceExceeded, ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
 from ..obs import Tracer, current_tracer, maybe_phase
@@ -211,24 +211,46 @@ class DistributedOptimization:
     optimization_rounds: int
     max_message_bits: int
     num_classes: int
+    total_messages: int = 0
 
 
-def optimize_distributed(
+def optimize_pipeline(
     automaton: TreeAutomaton,
     graph: Graph,
     d: int,
     maximize: bool = True,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    inbox_order: str = "arrival",
+    seed: Optional[int] = None,
+    faults=None,
+    retry=None,
+    engine: str = "naive",
+    codec: Optional[ClassCodec] = None,
 ) -> DistributedOptimization:
     """Run Algorithm 2 followed by the optimization protocol.
 
     ``automaton`` must be compiled with scope = (S,), the free set variable.
+    ``inbox_order`` / ``seed`` / ``faults`` / ``retry`` / ``engine`` have
+    the same semantics as in :func:`.model_checking.decide_pipeline`: both
+    phases share the adversary, and any crash raises
+    :class:`~repro.errors.FaultToleranceExceeded` — an optimum computed on
+    a partial network proves nothing about the whole one.
     """
     if len(automaton.scope) != 1 or not automaton.scope[0].sort.is_set:
         raise ProtocolError("optimization needs scope = one free set variable")
     tracer = tracer if tracer is not None else current_tracer()
-    elim = build_elimination_tree(graph, d, budget=budget, tracer=tracer)
+    elim = build_elimination_tree(
+        graph, d, budget=budget, tracer=tracer,
+        inbox_order=inbox_order, seed=seed, faults=faults, retry=retry,
+        engine=engine,
+    )
+    if elim.crashed:
+        raise FaultToleranceExceeded(
+            f"nodes {sorted(map(repr, elim.crashed))} crashed during "
+            "elimination; an optimum needs the whole network",
+            round=elim.rounds,
+        )
     if not elim.accepted:
         return DistributedOptimization(
             feasible=False,
@@ -240,17 +262,41 @@ def optimize_distributed(
             optimization_rounds=0,
             max_message_bits=elim.max_message_bits,
             num_classes=0,
+            total_messages=elim.total_messages,
         )
     inputs = node_inputs_from_elimination(graph, elim)
-    codec = ClassCodec(automaton)
+    if codec is None:
+        codec = ClassCodec(automaton)
+    program = optimization_program(automaton, codec, maximize)
+    run_budget = budget
+    max_rounds = 500_000  # runaway guard only; progression is data-driven
+    if retry is not None:
+        from ..congest import default_budget
+        from ..faults import reliable_program
+
+        program = reliable_program(program, retry)
+        if run_budget is None:
+            run_budget = default_budget(graph.num_vertices())
+        run_budget = retry.physical_budget(run_budget)
+        max_rounds = retry.physical_max_rounds(max_rounds)
     with maybe_phase(tracer, "optimization"):
         result = run_protocol(
             graph,
-            optimization_program(automaton, codec, maximize),
+            program,
             inputs=inputs,
-            budget=budget,
-            max_rounds=500_000,  # runaway guard only; progression is data-driven
+            budget=run_budget,
+            max_rounds=max_rounds,
             tracer=tracer,
+            inbox_order=inbox_order,
+            seed=seed,
+            faults=faults,
+            engine=engine,
+        )
+    if result.crashed:
+        raise FaultToleranceExceeded(
+            f"nodes {sorted(map(repr, result.crashed))} crashed during the "
+            "optimization convergecast; the optimum cannot be trusted",
+            round=result.rounds,
         )
     selections: Dict[Vertex, NodeSelection] = result.outputs
     feasible = all(sel.feasible for sel in selections.values())
@@ -277,4 +323,25 @@ def optimize_distributed(
         optimization_rounds=result.rounds,
         max_message_bits=max(elim.max_message_bits, result.metrics.max_message_bits),
         num_classes=codec.num_classes,
+        total_messages=elim.total_messages + result.metrics.total_messages,
     )
+
+
+def optimize_distributed(*args, **kwargs) -> DistributedOptimization:
+    """Deprecated alias of :func:`optimize_pipeline`.
+
+    .. deprecated:: 1.0
+        Use :class:`repro.api.Session`
+        (``Session(graph, d).optimize(phi, sense="max")``) or
+        :func:`optimize_pipeline` directly.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.distributed.optimize_distributed is deprecated; use "
+        "repro.api.Session(graph, d).optimize(phi) or "
+        "repro.distributed.optimize_pipeline",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return optimize_pipeline(*args, **kwargs)

@@ -1,0 +1,93 @@
+"""Tests for the shard-parallel sweep runner (:mod:`repro.congest.parallel`).
+
+Determinism is the contract: the same grid and base seed must produce the
+same per-shard seeds and the same results whether the sweep runs serially
+or across multiprocessing workers.
+"""
+
+import pytest
+
+from repro.congest.parallel import (
+    Shard,
+    ShardResult,
+    merge_metrics,
+    run_sweep,
+    shard_seed,
+)
+from repro.errors import CongestError
+
+
+def echo_worker(params):
+    """Module-level (picklable) worker: echo the params it received."""
+    return dict(params)
+
+
+def metrics_worker(params):
+    return {
+        "n": params["n"],
+        "metrics": {
+            "rounds": params["n"],
+            "total_messages": 10 * params["n"],
+            "max_message_bits": 32 + params["shard"],
+        },
+    }
+
+
+def failing_worker(params):
+    if params["n"] == 2:
+        raise ValueError("boom")
+    return params["n"]
+
+
+def test_shard_seed_is_deterministic_and_spread():
+    seeds = [shard_seed(0, i) for i in range(8)]
+    assert seeds == [shard_seed(0, i) for i in range(8)]
+    assert len(set(seeds)) == 8
+    # Shifted base seeds must not collide shard-for-shard.
+    shifted = [shard_seed(1, i) for i in range(8)]
+    assert all(a != b for a, b in zip(seeds[1:], shifted))
+
+
+def test_run_sweep_injects_seeds_and_preserves_grid_order():
+    grid = [{"n": n} for n in (4, 6, 8)]
+    results = run_sweep(echo_worker, grid, seed=5)
+    assert [r.shard.index for r in results] == [0, 1, 2]
+    assert [r.value["n"] for r in results] == [4, 6, 8]
+    for i, r in enumerate(results):
+        assert r.ok
+        assert r.value["shard"] == i
+        assert r.value["seed"] == shard_seed(5, i)
+    # A point that pins its own seed keeps it.
+    pinned = run_sweep(echo_worker, [{"n": 4, "seed": 99}], seed=5)
+    assert pinned[0].value["seed"] == 99
+
+
+def test_serial_and_parallel_sweeps_agree():
+    grid = [{"n": n} for n in range(3, 9)]
+    serial = run_sweep(echo_worker, grid, seed=11, processes=0)
+    try:
+        fanned = run_sweep(echo_worker, grid, seed=11, processes=2)
+    except (ImportError, OSError) as exc:  # no multiprocessing here
+        pytest.skip(f"multiprocessing unavailable: {exc}")
+    assert [r.value for r in serial] == [r.value for r in fanned]
+
+
+def test_strict_sweep_raises_naming_the_shard():
+    grid = [{"n": n} for n in (1, 2, 3)]
+    with pytest.raises(CongestError, match="shard 1"):
+        run_sweep(failing_worker, grid, seed=0)
+    relaxed = run_sweep(failing_worker, grid, seed=0, strict=False)
+    assert [r.ok for r in relaxed] == [True, False, True]
+    assert "ValueError: boom" in relaxed[1].error
+
+
+def test_merge_metrics_sums_counters_and_maxes_bits():
+    results = run_sweep(metrics_worker, [{"n": n} for n in (2, 3, 4)], seed=0)
+    merged = merge_metrics(results)
+    assert merged["rounds"] == 2 + 3 + 4
+    assert merged["total_messages"] == 10 * (2 + 3 + 4)
+    assert merged["max_message_bits"] == 32 + 2
+    # Shards without a metrics dict are skipped, not fatal.
+    shard = Shard(index=0, seed=0)
+    assert merge_metrics([ShardResult(shard=shard, value={"n": 1})]) == {}
+    assert merge_metrics([ShardResult(shard=shard, value=None)]) == {}
