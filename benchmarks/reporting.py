@@ -3,11 +3,16 @@
 Each experiment records a titled table of rows; ``conftest.py`` prints all
 recorded tables in the terminal summary (after pytest's capture ends) and
 mirrors them to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md
-can reference stable artifacts.
+can reference stable artifacts.  Every table is also appended to
+``benchmarks/results/<experiment>.json`` with typed cells (ints stay
+ints, floats stay floats), so downstream tooling — plots, the
+``repro bench`` gate, ad-hoc analysis — never has to re-parse the
+pretty-printed text.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Sequence, Tuple
 
@@ -16,24 +21,54 @@ _SERIES: List[Tuple[str, List[str]]] = []
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def _typed(cell: object) -> object:
+    """A JSON-native cell: numbers and bools pass through, rest is str."""
+    if cell is None or isinstance(cell, (bool, int, float, str)):
+        return cell
+    return str(cell)
+
+
+def _result_stem(experiment: str) -> str:
+    return experiment.lower().replace(" ", "_")
+
+
 def record_table(
     experiment: str,
     title: str,
     header: Sequence[str],
     rows: Iterable[Sequence[object]],
 ) -> None:
-    """Record a table for terminal summary + results file."""
+    """Record a table for terminal summary + results files (.txt and .json)."""
+    rows = [list(row) for row in rows]
     lines = [" | ".join(str(h) for h in header)]
     lines.append("-+-".join("-" * len(str(h)) for h in header))
     for row in rows:
         lines.append(" | ".join(str(cell) for cell in row))
     _SERIES.append((f"{experiment}: {title}", lines))
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{experiment.lower().replace(' ', '_')}.txt")
+    stem = _result_stem(experiment)
+    path = os.path.join(RESULTS_DIR, f"{stem}.txt")
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(f"== {title} ==\n")
         handle.write("\n".join(lines))
         handle.write("\n\n")
+    json_path = os.path.join(RESULTS_DIR, f"{stem}.json")
+    tables = []
+    if os.path.exists(json_path):
+        try:
+            with open(json_path, encoding="utf-8") as handle:
+                tables = json.load(handle).get("tables", [])
+        except (OSError, json.JSONDecodeError):
+            tables = []
+    tables.append({
+        "title": title,
+        "header": [str(h) for h in header],
+        "rows": [[_typed(cell) for cell in row] for row in rows],
+    })
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump({"experiment": experiment, "tables": tables}, handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def record_phase_table(experiment: str, title: str, tracer) -> None:
@@ -61,5 +96,5 @@ def reset_results() -> None:
     """Truncate old result files at session start (idempotent runs)."""
     if os.path.isdir(RESULTS_DIR):
         for name in os.listdir(RESULTS_DIR):
-            if name.endswith(".txt"):
+            if name.endswith((".txt", ".json")):
                 os.remove(os.path.join(RESULTS_DIR, name))

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..mso import syntax as sx
+from ..obs.registry import registry as _registry
 from .automata import TreeAutomaton
 from .compiler import compile_formula, compile_with_singletons
 
@@ -302,10 +303,21 @@ class AutomatonCache:
         entry = self._memory.get(key)
         if entry is not None:
             self.hits += 1
+            _registry().counter(
+                "repro_cache_hits_total", "AutomatonCache lookup hits."
+            ).inc()
             return entry
         entry = self._load(key)
+        if entry is not None:
+            self.hits += 1
+            _registry().counter(
+                "repro_cache_hits_total", "AutomatonCache lookup hits."
+            ).inc()
         if entry is None:
             self.misses += 1
+            _registry().counter(
+                "repro_cache_misses_total", "AutomatonCache lookup misses."
+            ).inc()
             scope = tuple(scope)
             if singletons:
                 automaton = compile_with_singletons(formula, scope)
@@ -342,6 +354,10 @@ class AutomatonCache:
         ):
             return None
         self.disk_loads += 1
+        _registry().counter(
+            "repro_cache_disk_loads_total",
+            "AutomatonCache entries loaded from disk persistence.",
+        ).inc()
         return entry
 
     def _store(self, key: str, entry: Tuple[TreeAutomaton, Any]) -> None:

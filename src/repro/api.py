@@ -29,6 +29,7 @@ The legacy entry points (``repro.distributed.decide``,
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple, Union
 
@@ -43,6 +44,9 @@ from .graph import Graph
 from .mso import parse
 from .mso.syntax import Formula, Var, free_variables
 from .obs import Tracer
+from .obs.export import phase_table_rows
+from .obs.registry import collect_run
+from .obs.reports import RunReport, RunStore, build_report
 
 __all__ = ["Result", "Session"]
 
@@ -63,6 +67,14 @@ class Result:
     ``replay_args`` are :class:`Session` keyword arguments:
     ``Session(graph, d, **result.replay_args)`` re-runs the same schedule,
     faults, retry policy, and engine, reproducing the run exactly.
+
+    ``cache_hits`` / ``cache_misses`` are the
+    :class:`~repro.algebra.cache.AutomatonCache` deltas attributable to
+    this call (compiling the formula is the dominant sequential cost, so
+    a miss here usually dwarfs the simulation itself).  ``report`` is the
+    full :class:`~repro.obs.reports.RunReport` artifact — excluded from
+    equality so two replayed Results still compare equal even though
+    their reports differ in wall-clock.
     """
 
     workload: str
@@ -77,6 +89,85 @@ class Result:
     count: Optional[int] = None
     num_classes: int = 0
     phase_rounds: Mapping[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    report: Optional[RunReport] = field(
+        default=None, compare=False, repr=False
+    )
+
+
+class _Observation:
+    """One workload call's measurement window.
+
+    Entered before formula compilation so the cache delta includes the
+    compile, and wrapped around the simulations via
+    :func:`~repro.obs.registry.collect_run` so the collector sees every
+    per-round profile.  :meth:`result` closes the window: it assembles
+    the :class:`Result` (cache deltas included), builds the content-
+    addressed :class:`~repro.obs.reports.RunReport`, and appends it to
+    the run store when the session was built with ``record``.
+    """
+
+    def __init__(self, session: "Session", workload: str):
+        self.session = session
+        self.workload = workload
+
+    def __enter__(self) -> "_Observation":
+        cache = self.session.cache
+        self._cache_before = (cache.hits, cache.misses, cache.disk_loads)
+        self._collect = collect_run()
+        self.collector = self._collect.__enter__()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> Any:
+        return self._collect.__exit__(*exc)
+
+    def result(self, formula: Formula, **fields: Any) -> Result:
+        wall = time.perf_counter() - self._started
+        session = self.session
+        cache = session.cache
+        cache_delta = {
+            "hits": cache.hits - self._cache_before[0],
+            "misses": cache.misses - self._cache_before[1],
+            "disk_loads": cache.disk_loads - self._cache_before[2],
+        }
+        phases = (
+            phase_table_rows(session.tracer)
+            if session.tracer is not None else None
+        )
+        report = build_report(
+            workload=self.workload,
+            formula=str(formula),
+            graph=session.graph,
+            d=session.d,
+            engine=session.engine,
+            verdict=fields.get("verdict"),
+            treedepth_exceeded=fields.get("treedepth_exceeded", False),
+            value=fields.get("value"),
+            count=fields.get("count"),
+            num_classes=fields.get("num_classes", 0),
+            witness_size=len(fields.get("witness", ())),
+            collector=self.collector,
+            phase_rounds=fields.get("phase_rounds", {}),
+            phases=phases,
+            cache=cache_delta,
+            replay=session._replay_json(),
+            wall_seconds=wall,
+        )
+        if session.record:
+            store = RunStore(
+                None if session.record is True else session.record
+            )
+            store.save(report)
+        return Result(
+            workload=self.workload,
+            replay_args=session.replay_args,
+            cache_hits=cache_delta["hits"],
+            cache_misses=cache_delta["misses"],
+            report=report,
+            **fields,
+        )
 
 
 class Session:
@@ -108,6 +199,12 @@ class Session:
         An :class:`~repro.algebra.cache.AutomatonCache`; defaults to the
         process-wide persistent cache.  Compiled automata and class ids
         are shared across sessions and processes.
+    record:
+        ``True`` to append each workload's
+        :class:`~repro.obs.reports.RunReport` to the default run store
+        (``REPRO_RUN_DIR`` or ``.repro/runs``), or a directory path to
+        record there.  Reports are built either way and attached to
+        ``Result.report``; ``record`` only controls persistence.
     """
 
     def __init__(
@@ -123,6 +220,7 @@ class Session:
         budget: Optional[int] = None,
         engine: str = "batched",
         cache: Optional[AutomatonCache] = None,
+        record: Union[bool, str, None] = False,
     ):
         if engine not in ENGINES:
             raise ReproError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -140,6 +238,7 @@ class Session:
         self.budget = budget
         self.engine = engine
         self.cache = cache if cache is not None else default_cache()
+        self.record = record
         if trace is True:
             self.tracer: Optional[Tracer] = Tracer()
         elif isinstance(trace, Tracer):
@@ -160,6 +259,18 @@ class Session:
             "budget": self.budget,
             "engine": self.engine,
         }
+
+    def _replay_json(self) -> Dict[str, Any]:
+        """``replay_args`` reduced to JSON-native values for RunReports."""
+        replay = dict(self.replay_args)
+        if replay.get("faults") is not None:
+            replay["faults"] = replay["faults"].to_dict()
+        if replay.get("retry") is not None:
+            replay["retry"] = repr(replay["retry"])
+        return replay
+
+    def _observe(self, workload: str) -> _Observation:
+        return _Observation(self, workload)
 
     def _formula(self, phi: Union[Formula, str]) -> Formula:
         if isinstance(phi, str):
@@ -201,25 +312,26 @@ class Session:
                 "decide needs a closed formula; use optimize/count for "
                 "formulas with free variables"
             )
-        automaton, codec = self._compiled(phi, ())
-        out = decide_pipeline(
-            automaton, self.graph, self.d, codec=codec, **self._run_kwargs(),
-        )
-        self.cache.save_warm()
-        return Result(
-            workload="decide",
-            verdict=None if out.treedepth_exceeded else out.accepted,
-            rounds=out.total_rounds,
-            messages=out.total_messages,
-            max_payload_bits=out.max_message_bits,
-            replay_args=self.replay_args,
-            treedepth_exceeded=out.treedepth_exceeded,
-            num_classes=out.num_classes,
-            phase_rounds={
-                "elimination": out.elimination_rounds,
-                "checking": out.checking_rounds,
-            },
-        )
+        with self._observe("decide") as obs:
+            automaton, codec = self._compiled(phi, ())
+            out = decide_pipeline(
+                automaton, self.graph, self.d, codec=codec,
+                **self._run_kwargs(),
+            )
+            self.cache.save_warm()
+            return obs.result(
+                phi,
+                verdict=None if out.treedepth_exceeded else out.accepted,
+                rounds=out.total_rounds,
+                messages=out.total_messages,
+                max_payload_bits=out.max_message_bits,
+                treedepth_exceeded=out.treedepth_exceeded,
+                num_classes=out.num_classes,
+                phase_rounds={
+                    "elimination": out.elimination_rounds,
+                    "checking": out.checking_rounds,
+                },
+            )
 
     def optimize(
         self,
@@ -256,28 +368,28 @@ class Session:
                         f"weight key {key!r} is neither a vertex nor an "
                         "edge of the session graph"
                     )
-        automaton, codec = self._compiled(phi, scope)
-        out = optimize_pipeline(
-            automaton, graph, self.d, maximize=(sense == "max"),
-            codec=codec, **self._run_kwargs(),
-        )
-        self.cache.save_warm()
-        return Result(
-            workload="optimize",
-            verdict=None if out.treedepth_exceeded else out.feasible,
-            rounds=out.total_rounds,
-            messages=out.total_messages,
-            max_payload_bits=out.max_message_bits,
-            replay_args=self.replay_args,
-            treedepth_exceeded=out.treedepth_exceeded,
-            value=out.value,
-            witness=out.witness,
-            num_classes=out.num_classes,
-            phase_rounds={
-                "elimination": out.elimination_rounds,
-                "optimization": out.optimization_rounds,
-            },
-        )
+        with self._observe("optimize") as obs:
+            automaton, codec = self._compiled(phi, scope)
+            out = optimize_pipeline(
+                automaton, graph, self.d, maximize=(sense == "max"),
+                codec=codec, **self._run_kwargs(),
+            )
+            self.cache.save_warm()
+            return obs.result(
+                phi,
+                verdict=None if out.treedepth_exceeded else out.feasible,
+                rounds=out.total_rounds,
+                messages=out.total_messages,
+                max_payload_bits=out.max_message_bits,
+                treedepth_exceeded=out.treedepth_exceeded,
+                value=out.value,
+                witness=out.witness,
+                num_classes=out.num_classes,
+                phase_rounds={
+                    "elimination": out.elimination_rounds,
+                    "optimization": out.optimization_rounds,
+                },
+            )
 
     def count(self, phi: Union[Formula, str]) -> Result:
         """Count satisfying assignments of ``phi``'s free variables (§6)."""
@@ -286,26 +398,28 @@ class Session:
         if not scope:
             raise ReproError("count needs at least one free variable in phi")
         singletons = any(not v.sort.is_set for v in scope)
-        automaton, codec = self._compiled(phi, scope, singletons=singletons)
-        out = count_pipeline(
-            automaton, self.graph, self.d, codec=codec, **self._run_kwargs(),
-        )
-        self.cache.save_warm()
-        return Result(
-            workload="count",
-            verdict=None if out.treedepth_exceeded else True,
-            rounds=out.total_rounds,
-            messages=out.total_messages,
-            max_payload_bits=out.max_message_bits,
-            replay_args=self.replay_args,
-            treedepth_exceeded=out.treedepth_exceeded,
-            count=out.count,
-            num_classes=out.num_classes,
-            phase_rounds={
-                "elimination": out.elimination_rounds,
-                "counting": out.counting_rounds,
-            },
-        )
+        with self._observe("count") as obs:
+            automaton, codec = self._compiled(phi, scope,
+                                              singletons=singletons)
+            out = count_pipeline(
+                automaton, self.graph, self.d, codec=codec,
+                **self._run_kwargs(),
+            )
+            self.cache.save_warm()
+            return obs.result(
+                phi,
+                verdict=None if out.treedepth_exceeded else True,
+                rounds=out.total_rounds,
+                messages=out.total_messages,
+                max_payload_bits=out.max_message_bits,
+                treedepth_exceeded=out.treedepth_exceeded,
+                count=out.count,
+                num_classes=out.num_classes,
+                phase_rounds={
+                    "elimination": out.elimination_rounds,
+                    "counting": out.counting_rounds,
+                },
+            )
 
     def certify(self, phi: Union[Formula, str]) -> Result:
         """Prove + verify ``phi`` via the PODC'22 certification baseline.
@@ -318,17 +432,18 @@ class Session:
         phi = self._formula(phi)
         if free_variables(phi):
             raise ReproError("certify needs a closed formula")
-        automaton, _codec = self._compiled(phi, ())
-        instance = prove(self.graph, automaton)
-        audit = verify(self.graph, automaton, instance, engine=self.engine)
-        self.cache.save_warm()
-        return Result(
-            workload="certify",
-            verdict=audit.accepted,
-            rounds=audit.rounds,
-            messages=audit.total_messages,
-            max_payload_bits=instance.max_certificate_bits,
-            replay_args=self.replay_args,
-            num_classes=instance.codec.num_classes,
-            phase_rounds={"verification": audit.rounds},
-        )
+        with self._observe("certify") as obs:
+            automaton, _codec = self._compiled(phi, ())
+            instance = prove(self.graph, automaton)
+            audit = verify(self.graph, automaton, instance,
+                           engine=self.engine)
+            self.cache.save_warm()
+            return obs.result(
+                phi,
+                verdict=audit.accepted,
+                rounds=audit.rounds,
+                messages=audit.total_messages,
+                max_payload_bits=instance.max_certificate_bits,
+                num_classes=instance.codec.num_classes,
+                phase_rounds={"verification": audit.rounds},
+            )

@@ -11,6 +11,8 @@ Commands
 ``trace``     run any command above with instrumentation enabled
 ``faults``    replay a fault-injection plan against the CONGEST pipeline
 ``lint``      CONGEST-conformance static analysis of node programs
+``report``    list / render / diff persisted RunReports
+``bench``     gate fresh benchmark results against committed baselines
 
 Graphs are given either as a generator spec (``path:20``, ``cycle:8``,
 ``grid:4x6``, ``clique:5``, ``star:7``, ``bounded:24:3:0.5:42`` for
@@ -20,12 +22,17 @@ either positionally or via ``--graph SPEC``.
 
 Setting ``REPRO_TRACE=1`` traces any command without the ``trace``
 prefix (phase table on stderr); ``REPRO_TRACE=PATH`` additionally
-writes the JSON-lines trace to ``PATH``.
+writes the JSON-lines trace to ``PATH``.  ``REPRO_METRICS=PATH`` dumps
+the process-wide metrics registry in Prometheus text format to ``PATH``
+after any command (``REPRO_METRICS=1`` prints it to stderr instead).
+Workload commands accept ``--record [DIR]`` to persist their RunReport
+to the run store (default ``REPRO_RUN_DIR`` or ``.repro/runs``).
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 import sys
@@ -150,6 +157,7 @@ def _resolve_formula(args: argparse.Namespace):
 
 
 def _session(graph: Graph, args: argparse.Namespace, **kwargs) -> Session:
+    kwargs.setdefault("record", getattr(args, "record", False))
     return Session(graph, args.d, engine=getattr(args, "engine", "batched"),
                    **kwargs)
 
@@ -261,14 +269,21 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from .algebra.cache import default_cache
+
     inner = build_parser().parse_args([args.traced, *args.rest])
     tracer = Tracer(max_events=args.max_events,
                     capture_payloads=not args.no_payloads)
+    cache = default_cache()
+    cache_before = (cache.hits, cache.misses, cache.disk_loads)
     with use_tracer(tracer):
         code = inner.func(inner)
     tracer.finish()
     print()
     print(render_phase_table(tracer))
+    print(f"automaton cache: {cache.hits - cache_before[0]} hits, "
+          f"{cache.misses - cache_before[1]} misses, "
+          f"{cache.disk_loads - cache_before[2]} disk loads")
     if args.jsonl and args.jsonl != "none":
         with open(args.jsonl, "w", encoding="utf-8") as handle:
             written = write_jsonl(tracer, handle)
@@ -368,6 +383,84 @@ def _write_fault_trace(tracer: Optional[Tracer], path: Optional[str]) -> None:
         print(f"injected: {injected}")
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.reports import (
+        DEFAULT_DIFF_THRESHOLDS,
+        RunStore,
+        diff_reports,
+        render_html,
+        render_markdown,
+    )
+
+    store = RunStore(args.dir)
+    if args.report_cmd == "list":
+        reports = store.list()
+        if not reports:
+            print(f"no runs recorded in {store.path}")
+            return 0
+        for r in reports:
+            print(f"{r.run_id[:12]}  {r.workload:<8}  "
+                  f"n={r.graph['n']} d={r.d} engine={r.engine}  "
+                  f"rounds={r.metrics['rounds']} "
+                  f"messages={r.metrics['messages']}  "
+                  f"verdict={r.verdict}")
+        return 0
+    if args.report_cmd == "show":
+        try:
+            report = store.load(args.id)
+        except KeyError as exc:
+            raise ReproError(str(exc)) from exc
+        if args.format == "html":
+            text = render_html(report)
+        else:
+            text = render_markdown(report)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"report {report.run_id[:12]} -> {args.out}")
+        else:
+            print(text)
+        return 0
+    # diff
+    try:
+        a = store.load(args.a)
+        b = store.load(args.b)
+    except KeyError as exc:
+        raise ReproError(str(exc)) from exc
+    thresholds = dict(DEFAULT_DIFF_THRESHOLDS)
+    for spec in args.tolerance or []:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            raise ReproError(
+                f"malformed --tolerance {spec!r}; expected METRIC=REL "
+                "(e.g. rounds=0.1)"
+            )
+        try:
+            thresholds[name] = float(value)
+        except ValueError as exc:
+            raise ReproError(
+                f"malformed --tolerance {spec!r}: {exc}"
+            ) from exc
+    diff = diff_reports(a, b, thresholds)
+    print(diff.render(wall=args.wall))
+    return 0 if diff.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs.benchgate import check_bench
+
+    fresh = args.fresh or sorted(glob.glob("BENCH_*.json"))
+    result = check_bench(
+        fresh,
+        args.baselines,
+        speedup_tolerance=args.speedup_tolerance,
+        speedup_floor=args.speedup_floor,
+        time_tolerance=args.time_tolerance,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_catalog(_args: argparse.Namespace) -> int:
     print("decision formulas:")
     for name in sorted(_CATALOG):
@@ -403,6 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="batched",
                        help="round scheduler for CONGEST runs (differentially "
                        "identical; batched is the fast one)")
+        p.add_argument("--record", nargs="?", const=True, default=False,
+                       metavar="DIR",
+                       help="persist the RunReport to the run store "
+                       "(default dir: REPRO_RUN_DIR or .repro/runs)")
         if formula:
             p.add_argument("--catalog", help="a catalog formula name")
             p.add_argument("--formula", help="an MSO formula in text syntax")
@@ -523,7 +620,90 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("rest", nargs=argparse.REMAINDER,
                          help="arguments for the wrapped command")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="list, render, and diff persisted RunReports",
+        description="Operates on the run store written by --record "
+        "(an append-only runs.jsonl under .repro/runs, or REPRO_RUN_DIR, "
+        "or --dir).  Run ids are content-addressed; unique prefixes and "
+        "'latest' are accepted wherever an id is expected.",
+    )
+    p_report.add_argument("--dir", default=None, metavar="DIR",
+                          help="run store directory (default: REPRO_RUN_DIR "
+                          "or .repro/runs)")
+    report_sub = p_report.add_subparsers(dest="report_cmd", required=True)
+    report_sub.add_parser("list", help="one line per stored run")
+    p_show = report_sub.add_parser("show", help="render one report")
+    p_show.add_argument("id", help="run id (prefix) or 'latest'")
+    p_show.add_argument("--format", choices=["md", "html"], default="md",
+                        help="markdown (default) or self-contained HTML")
+    p_show.add_argument("--out", default=None, metavar="PATH",
+                        help="write to PATH instead of stdout")
+    p_diff = report_sub.add_parser(
+        "diff",
+        help="deterministic phase-by-phase delta of two runs",
+        description="Prints the metric/phase/cache/fault delta table for "
+        "runs A and B and exits 1 when B regresses past a threshold "
+        "(default: any increase in rounds/messages/bits/max_message_bits, "
+        "or a verdict disagreement).  The table is byte-deterministic for "
+        "fixed stored reports; --wall appends the non-deterministic "
+        "wall-clock row.",
+    )
+    p_diff.add_argument("a", help="run id of the baseline run A")
+    p_diff.add_argument("b", help="run id of the candidate run B")
+    p_diff.add_argument("--tolerance", action="append", metavar="METRIC=REL",
+                        help="override a gate tolerance, e.g. rounds=0.1 "
+                        "(repeatable; REL is relative, 0.1 = +10%%)")
+    p_diff.add_argument("--wall", action="store_true",
+                        help="include the wall-clock row in the table")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark regression gate",
+        description="Compares fresh BENCH_*.json results (benchmarks/"
+        "bench_engine.py --out) against committed baselines matched by "
+        "(benchmark, mode).  Exits 1 on any regression: changed "
+        "verdicts/rounds on a matching grid, or a speedup below both the "
+        "relative tolerance and the absolute floor.",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_cmd", required=True)
+    p_bcheck = bench_sub.add_parser("check", help="gate fresh results")
+    p_bcheck.add_argument("--fresh", nargs="*", default=None, metavar="PATH",
+                          help="fresh result files (default: BENCH_*.json "
+                          "in the current directory)")
+    p_bcheck.add_argument("--baselines", default="benchmarks/baselines",
+                          metavar="DIR",
+                          help="baseline directory (default "
+                          "benchmarks/baselines)")
+    p_bcheck.add_argument("--speedup-tolerance", type=float, default=0.5,
+                          help="allowed relative speedup drop (default 0.5 "
+                          "= may fall to 50%% of baseline)")
+    p_bcheck.add_argument("--speedup-floor", type=float, default=1.0,
+                          help="absolute speedup that always passes "
+                          "(default 1.0)")
+    p_bcheck.add_argument("--time-tolerance", type=float, default=None,
+                          help="also gate raw seconds within this relative "
+                          "tolerance (off by default: machine-dependent)")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
+
+
+def _dump_metrics() -> None:
+    """Honor ``REPRO_METRICS``: Prometheus text to a path (or stderr)."""
+    target = os.environ.get("REPRO_METRICS", "")
+    if not target or target == "0":
+        return
+    from .obs.registry import registry
+
+    text = registry().render_prometheus()
+    if target.lower() in ("1", "true", "yes", "on"):
+        print(text, file=sys.stderr, end="")
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"metrics: registry -> {target}", file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -546,6 +726,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 64
+    finally:
+        _dump_metrics()
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import CongestError
+from ..obs.registry import registry as _registry
 
 __all__ = ["Shard", "ShardResult", "shard_seed", "run_sweep", "merge_metrics"]
 
@@ -99,6 +100,10 @@ def run_sweep(
         Shard(index=i, seed=shard_seed(seed, i), params=dict(point))
         for i, point in enumerate(grid)
     ]
+    reg = _registry()
+    reg.counter("repro_sweeps_total", "Parameter sweeps launched.").inc()
+    reg.counter("repro_sweep_shards_total",
+                "Shards executed across all sweeps.").inc(len(shards))
     jobs = [(worker, shard) for shard in shards]
     if processes and len(shards) > 1:
         import multiprocessing

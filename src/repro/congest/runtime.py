@@ -35,6 +35,7 @@ from ..errors import (
 )
 from ..graph import Graph, Vertex
 from ..obs import NULL_SPAN, Tracer, current_tracer
+from ..obs.registry import note_simulation
 from .messages import Payload, payload_bits
 from .metrics import RoundMetrics
 
@@ -564,6 +565,7 @@ class Simulation:
             self.metrics.undelivered_messages += self._injector.pending_copies
         if self.tracer is not None:
             self.tracer.finish()
+        note_simulation(self.metrics, engine=self.engine)
         return SimulationResult(
             outputs=outputs,
             metrics=self.metrics,

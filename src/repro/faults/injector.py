@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..congest.messages import Payload, payload_bits
 from ..congest.metrics import RoundMetrics
+from ..obs.registry import registry as _registry
 from ..obs.events import (
     BudgetJittered,
     MessageDelayed,
@@ -34,6 +35,20 @@ from ..obs.events import (
 from .plan import FaultPlan
 
 Edge = Tuple[Any, Any]
+
+
+def _count_fault(kind: str) -> None:
+    """Count one injected fault in the process-wide metrics registry.
+
+    Live (at injection time, not at simulation end), so a long faulty run
+    is observable mid-flight; :func:`repro.obs.registry.note_simulation`
+    deliberately does *not* fold ``faults_injected`` to avoid
+    double-counting.
+    """
+    _registry().counter(
+        "repro_faults_injected_total", "Injected faults by trace-event kind.",
+        ("kind",),
+    ).inc(kind=kind)
 
 
 def _truncate(payload: Payload) -> Payload:
@@ -112,6 +127,7 @@ class FaultInjector:
         budget = max(1, base + offset)
         if budget != base:
             metrics.record_fault(BudgetJittered.kind)
+            _count_fault(BudgetJittered.kind)
             if tracer is not None:
                 tracer.on_fault(BudgetJittered(round=round, budget=budget,
                                                base=base))
@@ -140,6 +156,7 @@ class FaultInjector:
 
         def emit(event) -> None:
             metrics.record_fault(event.kind)
+            _count_fault(event.kind)
             if tracer is not None:
                 tracer.on_fault(event)
 
@@ -194,6 +211,7 @@ class FaultInjector:
                                bits=payload_bits(payload),
                                reason="receiver-crashed")
         metrics.record_fault(event.kind)
+        _count_fault(event.kind)
         if tracer is not None:
             tracer.on_fault(event)
 
@@ -201,6 +219,7 @@ class FaultInjector:
                    tracer=None) -> None:
         event = NodeCrashed(round=round, node=node)
         metrics.record_fault(event.kind)
+        _count_fault(event.kind)
         if tracer is not None:
             tracer.on_fault(event)
 
@@ -208,6 +227,7 @@ class FaultInjector:
                      tracer=None) -> None:
         event = NodeRestarted(round=round, node=node)
         metrics.record_fault(event.kind)
+        _count_fault(event.kind)
         if tracer is not None:
             tracer.on_fault(event)
 

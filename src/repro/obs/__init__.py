@@ -3,6 +3,9 @@
 Structured tracing (typed events + hierarchical phase spans), per-phase /
 per-node / per-edge metrics, wall-clock profiling of the sequential hot
 paths, and exporters (JSON lines, summary tables, Chrome trace format).
+Plus the process-wide :class:`MetricsRegistry` (counters / gauges /
+histograms with Prometheus and JSON export) and :class:`RunReport`
+artifacts persisted to the local run store (``repro report`` CLI).
 See ``docs/observability.md`` for the model and ``python -m repro trace``
 for the CLI entry point.
 """
@@ -35,6 +38,22 @@ from .export import (
     write_jsonl,
 )
 from .profile import current_tracer, install_tracer, profiled, use_tracer
+from .registry import (
+    MetricsRegistry,
+    RunCollector,
+    collect_run,
+    note_simulation,
+    registry,
+    set_registry,
+)
+from .reports import (
+    RunReport,
+    RunStore,
+    build_report,
+    diff_reports,
+    render_html,
+    render_markdown,
+)
 from .tracer import (
     NULL_SPAN,
     EdgeStats,
@@ -55,11 +74,13 @@ def maybe_phase(tracer, name: str):
 __all__ = [
     "BudgetJittered", "DeliverEvent", "EdgeStats", "FAULT_EVENT_KINDS",
     "FaultEvent", "MessageDelayed", "MessageDropped", "MessageDuplicated",
-    "NULL_SPAN", "NodeCrashed", "NodeHalt", "NodeRestarted", "NodeStats",
-    "PayloadTruncated", "PhaseEnter", "PhaseExit", "PhaseStats",
-    "ProfileStat", "RoundStart", "SendEvent", "TraceEvent", "Tracer",
-    "chrome_trace_dict", "current_tracer", "event_from_dict",
-    "install_tracer", "maybe_phase", "phase_table_rows", "profiled",
-    "read_events", "render_phase_table", "use_tracer", "write_chrome_trace",
-    "write_jsonl",
+    "MetricsRegistry", "NULL_SPAN", "NodeCrashed", "NodeHalt",
+    "NodeRestarted", "NodeStats", "PayloadTruncated", "PhaseEnter",
+    "PhaseExit", "PhaseStats", "ProfileStat", "RoundStart", "RunCollector",
+    "RunReport", "RunStore", "SendEvent", "TraceEvent", "Tracer",
+    "build_report", "chrome_trace_dict", "collect_run", "current_tracer",
+    "diff_reports", "event_from_dict", "install_tracer", "maybe_phase",
+    "note_simulation", "phase_table_rows", "profiled", "read_events",
+    "registry", "render_html", "render_markdown", "render_phase_table",
+    "set_registry", "use_tracer", "write_chrome_trace", "write_jsonl",
 ]

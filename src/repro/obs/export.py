@@ -149,7 +149,11 @@ def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
     Timeline: 1 round = 1 ms of synthetic time.  Phase spans live on
     pid 0 / tid 0; each node's sends are instant events on its own tid;
     profiled sequential sections are complete events on pid 1 with their
-    real measured durations.
+    real measured durations.  Fault events land on the track of the node
+    they hit — message faults (drop/delay/duplicate/truncate) on the
+    sender's tid, crashes and restarts on the crashed node's tid — so a
+    flaky node's timeline shows its faults inline with its sends.
+    Global faults with no node attribution (budget jitter) stay on tid 0.
     """
     tracer.finish()
     trace: List[Dict[str, Any]] = []
@@ -181,9 +185,14 @@ def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
                           "args": {"phase": event.phase}})
         elif isinstance(event, FaultEvent):
             data = event.to_dict()
+            subject = getattr(event, "node", None)
+            if subject is None:
+                subject = getattr(event, "sender", None)
+            tid = tid_of(subject) if subject is not None else 0
+            scope = "t" if subject is not None else "g"
             trace.append({
-                "name": data.pop("kind"), "cat": "fault", "ph": "i", "s": "g",
-                "ts": ts, "pid": 0, "tid": 0,
+                "name": data.pop("kind"), "cat": "fault", "ph": "i",
+                "s": scope, "ts": ts, "pid": 0, "tid": tid,
                 "args": {k: v for k, v in data.items() if k != "round"},
             })
     cursor = 0

@@ -247,6 +247,67 @@ def test_chrome_trace_structure():
     assert json.loads(buf.getvalue()) == payload
 
 
+def _traced_faulty_run():
+    from repro.faults import CrashFault, FaultPlan
+
+    plan = FaultPlan(seed=1, drop_rate=0.4, delay_rate=0.3,
+                     crashes=(CrashFault(node=2, at_round=2,
+                                         restart_round=4),))
+    tracer = Tracer()
+    run_protocol(gen.cycle(4), chatty_program, tracer=tracer, faults=plan,
+                 seed=0)
+    tracer.finish()
+    return tracer
+
+
+def chatty_program(ctx):
+    for _ in range(5):
+        ctx.send_all(("hello", ctx.node))
+        yield
+    return ctx.node
+
+
+def test_chrome_trace_fault_events_land_on_node_tracks():
+    tracer = _traced_faulty_run()
+    assert tracer.fault_counts, "the plan must actually inject faults"
+    payload = chrome_trace_dict(tracer)
+    faults = [e for e in payload["traceEvents"]
+              if e.get("cat") == "fault"]
+    assert faults, "fault events must appear in the chrome trace"
+    # Crash/restart instants sit on the crashed node's own track, message
+    # faults on the sender's — never all lumped onto tid 0.
+    send_tids = {
+        e["args"].get("node", e["args"].get("sender")): e["tid"]
+        for e in faults
+        if "node" in e["args"] or "sender" in e["args"]
+    }
+    assert send_tids, "faults must carry node/sender attribution"
+    assert all(tid != 0 for tid in send_tids.values())
+    crashes = [e for e in faults if e["name"] == "fault-crash"]
+    restarts = [e for e in faults if e["name"] == "fault-restart"]
+    assert crashes and restarts
+    assert crashes[0]["tid"] == restarts[0]["tid"] != 0
+    # A node's fault track is the same track its sends use.
+    sends = [e for e in payload["traceEvents"]
+             if e.get("cat") == "message"]
+    tid_by_sender = {e["name"].split()[1].split("->")[0]: e["tid"]
+                     for e in sends}
+    for event in faults:
+        sender = event["args"].get("sender")
+        if sender is not None and str(sender) in tid_by_sender:
+            assert event["tid"] == tid_by_sender[str(sender)]
+
+
+def test_fault_events_round_trip_through_jsonl():
+    tracer = _traced_faulty_run()
+    buf = io.StringIO()
+    write_jsonl(tracer, buf)
+    events = read_events(buf.getvalue())
+    assert events == list(tracer.events)
+    kinds = {type(e).__name__ for e in events}
+    assert "NodeCrashed" in kinds and "NodeRestarted" in kinds
+
+
 # ----------------------------------------------------------------------
 # Satellite fixes in the runtime
 # ----------------------------------------------------------------------
