@@ -297,11 +297,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import RULES, LintError, check_paths
+    from .lint.conformance import RL009_NAME, RL009_SUMMARY
 
     if args.list_rules:
         for rule in RULES.values():
             print(f"{rule.code}  {rule.name:16} {rule.summary}")
+        # RL009 needs run artifacts, so it lives outside the per-program
+        # rule registry — list it all the same.
+        print(f"RL009  {RL009_NAME:16} {RL009_SUMMARY}")
         return 0
+
+    if args.verify_runs:
+        from .lint.conformance import verify_runs
+
+        result = verify_runs(args.verify_runs)
+        if args.format == "json":
+            print(json.dumps(
+                {
+                    "findings": [f.to_dict() for f in result.findings],
+                    "count": len(result.findings),
+                    "checked": result.checked,
+                    "skipped": result.skipped,
+                },
+                indent=2,
+            ))
+        else:
+            for finding in result.findings:
+                print(finding.format())
+            print(
+                f"repro lint: verified {result.checked} run report(s) "
+                f"({result.skipped} skipped), "
+                f"{len(result.findings)} finding(s)"
+            )
+        return 1 if result.findings else 0
+
     if not args.paths:
         print("repro lint: no paths given (try: repro lint src/repro)",
               file=sys.stderr)
@@ -309,6 +338,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = None
     if args.select:
         select = [c for chunk in args.select for c in chunk.split(",") if c]
+
+    if args.show_unused_noqa:
+        from .lint import find_unused_noqa
+
+        try:
+            unused = find_unused_noqa(args.paths)
+        except LintError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        for item in unused:
+            print(item.format())
+        noun = "suppression" if len(unused) == 1 else "suppressions"
+        print(f"repro lint: {len(unused)} unused {noun}")
+        return 1 if unused else 0
+
     try:
         findings = check_paths(args.paths, select=select)
     except LintError as exc:
@@ -322,6 +366,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             },
             indent=2,
         ))
+    elif args.format == "sarif":
+        from .lint.findings import to_sarif
+
+        meta = {
+            code: {"name": r.name, "summary": r.summary}
+            for code, r in RULES.items()
+        }
+        print(json.dumps(to_sarif(findings, meta), indent=2, sort_keys=True))
     else:
         for finding in findings:
             print(finding.format())
@@ -541,19 +593,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="CONGEST-conformance static analysis of node programs",
         description="Statically checks node programs for locality (RL001), "
         "determinism (RL002), round-structure (RL003), payload-typing "
-        "(RL004), and unbounded-retry (RL005) violations.  Suppress a "
-        "finding with '# repro: noqa[RL00x]' on the offending line.  "
-        "Exits 1 if any finding remains.",
+        "(RL004), unbounded-retry (RL005), bit-budget (RL006), "
+        "round-bound (RL007), and nondeterminism-taint (RL008) "
+        "violations; rules see through project-local helper calls.  "
+        "Suppress a finding with '# repro: noqa[RL00x]' on the offending "
+        "line (or at the call site of an inlined helper).  Exits 1 if any "
+        "finding remains.",
     )
     p_lint.add_argument("paths", nargs="*",
                         help="files or directories to analyze")
-    p_lint.add_argument("--format", choices=["text", "json"], default="text",
+    p_lint.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
                         help="output format (default text)")
     p_lint.add_argument("--select", action="append", metavar="CODES",
                         help="only run these rule codes (comma-separated, "
                         "repeatable)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    p_lint.add_argument("--show-unused-noqa", action="store_true",
+                        help="report '# repro: noqa' suppressions that no "
+                        "longer suppress anything (exit 1 if any)")
+    p_lint.add_argument("--verify-runs", metavar="DIR",
+                        help="RL009: check stored RunReports in DIR against "
+                        "the statically certified bit/round bounds "
+                        "(exit 1 on any exceedance)")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_faults = sub.add_parser(

@@ -227,12 +227,12 @@ def reliable_recv(
                 round=ctx.round_number,
             )
     payload = got[1]
-    ctx.send(source, (ack,))  # repro: noqa[RL003] — caller keeps yielding
+    ctx.send(source, (ack,))
     for _ in range(linger):
         inbox = yield
         late = inbox.get(source)
         if isinstance(late, tuple) and len(late) == 2 and late[0] == tag:
-            ctx.send(source, (ack,))  # repro: noqa[RL003]
+            ctx.send(source, (ack,))
     return payload
 
 

@@ -21,7 +21,11 @@ _REGISTRY: Dict[str, Callable] = {}
 
 
 def node_program(
-    func: Optional[Callable] = None, *, name: Optional[str] = None
+    func: Optional[Callable] = None,
+    *,
+    name: Optional[str] = None,
+    bits: str = "O(log n)",
+    rounds: Optional[str] = None,
 ) -> Callable:
     """Register ``func`` as a CONGEST node program (usable as a decorator).
 
@@ -29,11 +33,21 @@ def node_program(
     function itself is returned unchanged, with a ``__repro_node_program__``
     marker attribute so tooling can recognize it without importing this
     module.
+
+    ``bits`` declares the program's per-message CONGEST budget family —
+    one of ``"O(1)"``, ``"O(log n)"`` (the default, the paper's regime),
+    or ``"O(d log n)"``.  ``rounds``, when given, is an arithmetic
+    expression over ``n`` and ``d`` (e.g. ``"20 + 6*2**d + 2*n"``)
+    bounding the number of communication rounds.  Both declarations are
+    certified statically by ``repro lint`` (RL006) and checked against
+    observed run metrics by ``repro lint --verify-runs`` (RL009).
     """
 
     def register(target: Callable) -> Callable:
         key = name or f"{target.__module__}:{target.__qualname__}"
         target.__repro_node_program__ = True
+        target.__repro_bits__ = bits
+        target.__repro_rounds__ = rounds
         _REGISTRY[key] = target
         return target
 

@@ -26,7 +26,7 @@ from ..graph import Graph, Vertex
 from ..obs import Tracer, current_tracer, maybe_phase
 
 
-@node_program
+@node_program(rounds="10")
 def grid_coloring_program(ctx: NodeContext) -> Generator[None, Inbox, Optional[int]]:
     """Compute the residue color locally; verify neighbor coordinates.
 

@@ -53,7 +53,7 @@ class EliminationOutput:
     anc_edge_positions: Tuple[int, ...] = ()
 
 
-@node_program
+@node_program(rounds="200 + 40*4**d + 4*n")
 def elimination_tree_program(
     ctx: NodeContext,
 ) -> Generator[None, Inbox, EliminationOutput]:

@@ -88,7 +88,7 @@ def local_base_symbol(ctx: NodeContext, scope: Tuple[sx.Var, ...]) -> BaseSymbol
 def decision_program(automaton: TreeAutomaton, codec: ClassCodec):
     """Node program factory for the bottom-up decision convergecast."""
 
-    @node_program
+    @node_program(rounds="20 + 6*2**d + 2*n")
     def program(ctx: NodeContext) -> Generator[None, Inbox, bool]:
         depth: int = ctx.input["depth"]
         children: Tuple[Vertex, ...] = tuple(ctx.input["children"])

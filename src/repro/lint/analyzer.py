@@ -12,6 +12,8 @@ from __future__ import annotations
 import ast
 import inspect
 import os
+import re
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -94,6 +96,61 @@ def _selected_rules(select: Optional[Sequence[str]]):
     return [RULES[code] for code in sorted(wanted)]
 
 
+_INLINE_SUFFIX_RE = re.compile(r" \(in inlined helper '[^']+'\)$")
+
+
+def _expanded(program: ProgramInfo) -> ProgramInfo:
+    """The program with project-local helper calls inlined (best effort)."""
+    from .callgraph import expand_program
+
+    try:
+        node = expand_program(program)
+    except RecursionError:
+        node = None
+    if node is None:
+        return program
+    return ProgramInfo(
+        module=program.module,
+        node=node,
+        qualname=program.qualname,
+        enclosing=program.enclosing,
+    )
+
+
+def _dedupe_key(finding: Finding) -> Tuple[str, int, int, str, str]:
+    # A helper that is itself a discoverable program produces the same
+    # finding standalone and inlined into its callers; the inlined copy
+    # only differs by the "(in inlined helper ...)" suffix.
+    base = _INLINE_SUFFIX_RE.sub("", finding.message)
+    return (finding.path, finding.line, finding.col, finding.code, base)
+
+
+def _suppressed(module: ModuleInfo, finding: Finding) -> bool:
+    """noqa applies at the finding's line *or* at any inlining call site."""
+    if module.suppressed(finding.line, finding.code):
+        return True
+    return any(
+        module.suppressed(line, finding.code) for line in finding.callsites
+    )
+
+
+def _raw_findings(
+    module: ModuleInfo, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """All findings for a module, deduplicated but not noqa-filtered."""
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, int, str, str]] = set()
+    for program in discover_programs(module):
+        target = _expanded(program)
+        for rule in _selected_rules(select):
+            for finding in rule.check(target):
+                key = _dedupe_key(finding)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(finding)
+    return findings
+
+
 def check_source(
     source: str,
     path: str = "<string>",
@@ -104,12 +161,9 @@ def check_source(
         module = ModuleInfo.from_source(source, path)
     except SyntaxError as exc:
         raise LintError(f"{path}: cannot parse: {exc}") from exc
-    findings: List[Finding] = []
-    for program in discover_programs(module):
-        for rule in _selected_rules(select):
-            for finding in rule.check(program):
-                if not module.suppressed(finding.line, finding.code):
-                    findings.append(finding)
+    findings = [
+        f for f in _raw_findings(module, select) if not _suppressed(module, f)
+    ]
     return sorted(findings, key=lambda f: f.sort_key)
 
 
@@ -153,6 +207,58 @@ def check_paths(
     for path in iter_python_files(paths):
         findings.extend(check_module(path, select=select))
     return sorted(findings, key=lambda f: f.sort_key)
+
+
+@dataclass(frozen=True)
+class UnusedNoqa:
+    """A ``# repro: noqa`` comment that suppresses nothing."""
+
+    path: str
+    line: int
+    code: str  # "*" for a bare noqa
+
+    def format(self) -> str:
+        label = "noqa" if self.code == "*" else f"noqa[{self.code}]"
+        return (
+            f"{self.path}:{self.line}: unused suppression: # repro: {label} "
+            "matches no finding"
+        )
+
+
+def find_unused_noqa(paths: Iterable[str]) -> List[UnusedNoqa]:
+    """Suppression comments that no longer suppress any finding.
+
+    A suppression counts as *used* when some raw (pre-noqa) finding is
+    anchored at its line — either directly or through an interprocedural
+    call-site chain.  Codes the analyzer does not register (e.g. RL009,
+    which only fires from ``--verify-runs``) are never counted as used.
+    """
+    out: List[UnusedNoqa] = []
+    for path in iter_python_files(paths):
+        try:
+            source = Path(path).read_text()
+        except OSError as exc:
+            raise LintError(f"{path}: cannot read: {exc}") from exc
+        try:
+            module = ModuleInfo.from_source(source, str(path))
+        except SyntaxError as exc:
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+        if not module.noqa:
+            continue
+        hit: dict = {}
+        for finding in _raw_findings(module):
+            for line in (finding.line, *finding.callsites):
+                hit.setdefault(line, set()).add(finding.code)
+        for line, codes in sorted(module.noqa.items()):
+            found = hit.get(line, set())
+            if "*" in codes:
+                if not found:
+                    out.append(UnusedNoqa(str(path), line, "*"))
+                continue
+            for code in sorted(codes):
+                if code not in found:
+                    out.append(UnusedNoqa(str(path), line, code))
+    return sorted(out, key=lambda u: (u.path, u.line, u.code))
 
 
 def check_program(

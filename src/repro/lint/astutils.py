@@ -43,11 +43,33 @@ def iter_own(root: ast.AST) -> Iterator[ast.AST]:
     def walk(node: ast.AST) -> Iterator[ast.AST]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, _SCOPE_NODES):
+                # Decorators and default expressions of a nested def are
+                # evaluated in the *enclosing* scope — only the body is
+                # opaque.
+                for part in _scope_header(child):
+                    yield part
+                    yield from walk(part)
                 continue
             yield child
             yield from walk(child)
 
     yield from walk(root)
+
+
+def _scope_header(node: ast.AST) -> Iterator[ast.AST]:
+    """Sub-expressions of a scope node evaluated in the enclosing scope."""
+    for dec in getattr(node, "decorator_list", []):
+        yield dec
+    args = getattr(node, "args", None)
+    if args is not None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            yield default
+    for base in getattr(node, "bases", []):
+        yield base
+    for kw in getattr(node, "keywords", []):
+        yield kw.value
 
 
 def contains_yield(node: ast.AST) -> bool:
@@ -174,6 +196,12 @@ def bound_names(func: ast.AST) -> Set[str]:
             names.update(n.names)
         elif isinstance(n, ast.Nonlocal):
             names.update(n.names)
+        elif isinstance(n, ast.MatchAs) and n.name:
+            names.add(n.name)
+        elif isinstance(n, ast.MatchStar) and n.name:
+            names.add(n.name)
+        elif isinstance(n, ast.MatchMapping) and n.rest:
+            names.add(n.rest)
     for n in ast.walk(func):
         if (
             isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
@@ -299,6 +327,9 @@ class ProgramInfo:
                 for target in n.targets:
                     if isinstance(target, ast.Name):
                         names.add(target.id)
+            elif isinstance(n, ast.NamedExpr) and isinstance(n.value, ast.Yield):
+                if isinstance(n.target, ast.Name):
+                    names.add(n.target.id)
         return names
 
     def _find_unordered_names(self) -> Set[str]:
@@ -312,6 +343,8 @@ class ProgramInfo:
                 if isinstance(n, ast.Assign) and len(n.targets) == 1:
                     target, value = n.targets[0], n.value
                 elif isinstance(n, ast.AnnAssign) and n.value is not None:
+                    target, value = n.target, n.value
+                elif isinstance(n, ast.NamedExpr):
                     target, value = n.target, n.value
                 if not isinstance(target, ast.Name) or value is None:
                     continue

@@ -1,0 +1,243 @@
+"""The RL009 static-vs-dynamic conformance gate (``lint --verify-runs``).
+
+Static analysis and observability check each other: RL006 certifies a
+symbolic per-message bit bound for every node program, ``repro.obs``
+records the *observed* ``max_message_bits`` and round count of every
+Session workload call, and this module closes the loop — for each stored
+:class:`~repro.obs.reports.RunReport` it evaluates the certified bound at
+the report's ``(n, d)`` and fails when the observation exceeds it.
+
+An observation above the static bound means one of the two sides is
+wrong: either the abstract domain under-approximates a real payload
+(a certifier bug) or the runtime sent something the declared CONGEST
+budget does not allow (a protocol bug).  Either way the run must not
+pass CI silently.
+
+RL009 is deliberately *not* registered in :data:`repro.lint.rules.RULES`:
+it needs run artifacts, not source text, so it only fires through
+:func:`verify_runs` / ``repro lint --verify-runs DIR``.
+
+Reports produced under fault injection or retry wrappers are skipped:
+retransmission tagging wraps payloads and inflates their width past the
+plain-protocol bound by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .astutils import ModuleInfo
+from .bitwidth import ProgramBound, certify_program
+from .findings import Finding
+
+RL009_NAME = "static-vs-observed"
+RL009_SUMMARY = (
+    "observed max_payload_bits / rounds of a stored RunReport must not "
+    "exceed the statically certified bound for its workload's programs "
+    "(only via --verify-runs; needs run artifacts, not source)"
+)
+
+#: Names allowed in a declared ``rounds`` expression.
+_BOUND_VARS = ("n", "d")
+
+
+class BoundExprError(ValueError):
+    """A declared rounds expression is not a closed (n, d) arithmetic term."""
+
+
+def eval_bound_expr(expr: str, n: int, d: int) -> int:
+    """Evaluate a declared bound like ``"200 + 40*4**d + 4*n"`` safely."""
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as exc:
+        raise BoundExprError(f"cannot parse bound {expr!r}: {exc}") from exc
+
+    def ev(node: ast.AST) -> int:
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id == "n":
+                return n
+            if node.id == "d":
+                return d
+            raise BoundExprError(
+                f"bound {expr!r} uses {node.id!r}; only {_BOUND_VARS} are "
+                "allowed"
+            )
+        if isinstance(node, ast.BinOp):
+            left, right = ev(node.left), ev(node.right)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.FloorDiv):
+                if right == 0:
+                    raise BoundExprError(f"bound {expr!r} divides by zero")
+                return left // right
+            if isinstance(node.op, ast.Pow):
+                if right < 0 or right > 64:
+                    raise BoundExprError(
+                        f"bound {expr!r}: exponent {right} out of range"
+                    )
+                return left ** right
+            raise BoundExprError(f"bound {expr!r}: unsupported operator")
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -ev(node.operand)
+        raise BoundExprError(f"bound {expr!r}: unsupported syntax")
+
+    return ev(tree)
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Outcome of one ``--verify-runs`` pass over a run store."""
+
+    findings: Tuple[Finding, ...]
+    checked: int
+    skipped: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class _BoundCache:
+    """Certified bounds per (module, qualname), parsed once per pass."""
+
+    def __init__(self) -> None:
+        self._bounds: Dict[Tuple[str, str], Optional[ProgramBound]] = {}
+
+    def get(self, module: str, qualname: str) -> Optional[ProgramBound]:
+        key = (module, qualname)
+        if key not in self._bounds:
+            self._bounds[key] = self._load(module, qualname)
+        return self._bounds[key]
+
+    def _load(self, module: str, qualname: str) -> Optional[ProgramBound]:
+        from .analyzer import _expanded, discover_programs
+
+        try:
+            spec = importlib.util.find_spec(module)
+        except (ImportError, ValueError):
+            return None
+        if spec is None or not spec.origin:
+            return None
+        path = Path(spec.origin)
+        try:
+            source = path.read_text()
+        except OSError:
+            return None
+        try:
+            info = ModuleInfo.from_source(source, str(path))
+        except SyntaxError:
+            return None
+        for program in discover_programs(info):
+            if program.qualname == qualname:
+                return certify_program(_expanded(program))
+        return None
+
+
+def verify_runs(directory: str) -> VerifyResult:
+    """Check every stored RunReport against its static bounds (RL009)."""
+    from ..congest.runtime import default_budget
+    from ..obs.reports import RunStore, programs_for_workload
+
+    store = RunStore(directory)
+    path = str(store.path)
+    cache = _BoundCache()
+    findings: List[Finding] = []
+    checked = 0
+    skipped = 0
+    for index, report in enumerate(store.list(), start=1):
+        label = f"{report.workload}:{report.run_id[:12]}"
+
+        def fail(message: str) -> None:
+            findings.append(
+                Finding(
+                    code="RL009",
+                    message=message,
+                    path=path,
+                    line=index,
+                    col=0,
+                    program=label,
+                )
+            )
+
+        programs = programs_for_workload(report.workload)
+        if not programs:
+            skipped += 1
+            continue
+        replay = dict(report.replay or {})
+        if replay.get("faults") or replay.get("retry"):
+            # Retransmission tagging wraps payloads; the plain-protocol
+            # bound does not apply.
+            skipped += 1
+            continue
+        n = int(report.graph.get("n", 0) or 0)
+        d = int(report.d)
+        if n <= 0:
+            skipped += 1
+            continue
+        checked += 1
+        budget = default_budget(n)
+
+        bits_bound = 0
+        rounds_bound: Optional[int] = 0
+        certified = True
+        for module, qualname in programs:
+            bound = cache.get(module, qualname)
+            if bound is None:
+                fail(
+                    f"cannot locate/certify {module}:{qualname} for "
+                    f"workload '{report.workload}': no static bound to "
+                    "verify against"
+                )
+                certified = False
+                break
+            if bound.width.top:
+                fail(
+                    f"{module}:{qualname} has an unbounded (⊤) payload "
+                    "width: RL006 certification failed, so the observed "
+                    "run cannot be conformance-checked"
+                )
+                certified = False
+                break
+            bits_bound = max(bits_bound, bound.width.evaluate(n, d, budget))
+            if rounds_bound is not None and bound.rounds_expr is not None:
+                try:
+                    rounds_bound += eval_bound_expr(bound.rounds_expr, n, d)
+                except BoundExprError as exc:
+                    fail(str(exc))
+                    rounds_bound = None
+            elif bound.rounds_expr is None:
+                rounds_bound = None
+        if not certified:
+            continue
+
+        observed_bits = report.max_payload_bits
+        if observed_bits > bits_bound:
+            fail(
+                f"observed max_payload_bits={observed_bits} exceeds the "
+                f"statically certified bound {bits_bound} bits at "
+                f"n={n}, d={d} (workload '{report.workload}')"
+            )
+        observed_rounds = int(report.metrics.get("rounds", 0) or 0)
+        if rounds_bound is not None and observed_rounds > rounds_bound:
+            fail(
+                f"observed rounds={observed_rounds} exceeds the declared "
+                f"round bound {rounds_bound} at n={n}, d={d} "
+                f"(workload '{report.workload}')"
+            )
+    return VerifyResult(
+        findings=tuple(sorted(findings, key=lambda f: f.sort_key)),
+        checked=checked,
+        skipped=skipped,
+    )

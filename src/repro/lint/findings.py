@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -13,6 +13,11 @@ class Finding:
     ``program`` is the qualified name of the node program the finding was
     raised in (e.g. ``decision_program.<locals>.program``), so findings in
     factory-made closures point at the closure, not just the file.
+
+    ``callsites`` is non-empty for findings raised inside interprocedurally
+    inlined helper code: the chain of call-site line numbers (outermost
+    first) in the analyzed program that leads to the helper statement the
+    finding points at.
     """
 
     code: str
@@ -21,19 +26,28 @@ class Finding:
     line: int
     col: int
     program: str
+    callsites: Tuple[int, ...] = field(default=(), compare=False)
 
     @property
     def sort_key(self):
-        return (self.path, self.line, self.col, self.code)
+        # Byte-deterministic total order: path, line, col, code, then the
+        # remaining fields as tie-breakers.
+        return (self.path, self.line, self.col, self.code,
+                self.program, self.message)
 
     def format(self) -> str:
+        via = ""
+        if self.callsites:
+            via = " (via call at line {})".format(
+                " -> ".join(str(l) for l in self.callsites)
+            )
         return (
             f"{self.path}:{self.line}:{self.col}: {self.code} "
-            f"{self.message} [{self.program}]"
+            f"{self.message}{via} [{self.program}]"
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "code": self.code,
             "message": self.message,
             "path": self.path,
@@ -41,3 +55,72 @@ class Finding:
             "col": self.col,
             "program": self.program,
         }
+        if self.callsites:
+            out["callsites"] = list(self.callsites)
+        return out
+
+
+def to_sarif(
+    findings: Iterable[Finding],
+    rule_meta: Optional[Mapping[str, Mapping[str, str]]] = None,
+) -> Dict[str, Any]:
+    """Render findings as a SARIF 2.1.0 log (one run, one driver)."""
+    rule_meta = rule_meta or {}
+    findings = sorted(findings, key=lambda f: f.sort_key)
+    seen_rules: List[str] = []
+    for f in findings:
+        if f.code not in seen_rules:
+            seen_rules.append(f.code)
+    rules = [
+        {
+            "id": code,
+            "name": rule_meta.get(code, {}).get("name", code),
+            "shortDescription": {
+                "text": rule_meta.get(code, {}).get("summary", code)
+            },
+        }
+        for code in sorted(seen_rules)
+    ]
+    results = []
+    for f in findings:
+        result: Dict[str, Any] = {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f"{f.message} [{f.program}]"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.callsites:
+            result["properties"] = {"callsites": list(f.callsites)}
+        results.append(result)
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

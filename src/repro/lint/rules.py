@@ -50,6 +50,12 @@ def rule(code: str, name: str, summary: str):
 
 
 def _finding(program: ProgramInfo, code: str, node: ast.AST, message: str) -> Finding:
+    # Nodes spliced in by the call-graph expander carry the chain of
+    # call-site lines and the helper name they came from.
+    callsites = tuple(getattr(node, "_inl_callsites", ()) or ())
+    origin = getattr(node, "_inl_origin", None)
+    if origin:
+        message = f"{message} (in inlined helper '{origin}')"
     return Finding(
         code=code,
         message=message,
@@ -57,6 +63,7 @@ def _finding(program: ProgramInfo, code: str, node: ast.AST, message: str) -> Fi
         line=getattr(node, "lineno", program.node.lineno),
         col=getattr(node, "col_offset", 0),
         program=program.qualname,
+        callsites=callsites,
     )
 
 
@@ -732,3 +739,50 @@ def check_retry_bound(program: ProgramInfo) -> Iterator[Finding]:
             "protocol until max_rounds instead of failing closed with "
             "FaultToleranceExceeded",
         )
+
+
+# ---------------------------------------------------------------------------
+# RL006/RL007 — bit budget and round bound (abstract interpretation)
+# ---------------------------------------------------------------------------
+
+@rule(
+    "RL006",
+    "bit-budget",
+    "every ctx.send payload of a @node_program must have a statically "
+    "certified bit-width within the declared CONGEST budget family "
+    "(O(1) ⊆ O(log n) ⊆ O(d log n)); ⊤ (unbounded) is rejected",
+)
+def check_bit_budget(program: ProgramInfo) -> Iterator[Finding]:
+    from .bitwidth import check_bit_budget as _check
+
+    yield from _check(program)
+
+
+@rule(
+    "RL007",
+    "round-bound",
+    "message-emitting 'while True' loops must have a reachable "
+    "break/return/raise: otherwise the number of communication rounds "
+    "has no static bound tied to d or log n",
+)
+def check_round_bound(program: ProgramInfo) -> Iterator[Finding]:
+    from .bitwidth import check_round_bound as _check
+
+    yield from _check(program)
+
+
+# ---------------------------------------------------------------------------
+# RL008 — nondeterminism taint (dataflow)
+# ---------------------------------------------------------------------------
+
+@rule(
+    "RL008",
+    "nondeterminism-taint",
+    "values derived from set/dict iteration order, unseeded randomness, "
+    "id()/hash(), or wall-clock reads must not reach payloads or outputs "
+    "— tracked through assignment chains and inlined helper calls",
+)
+def check_nondeterminism_taint(program: ProgramInfo) -> Iterator[Finding]:
+    from .taint import check_taint as _check
+
+    yield from _check(program)

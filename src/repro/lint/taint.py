@@ -1,0 +1,218 @@
+"""Nondeterminism taint tracking (RL008).
+
+RL002 pattern-matches *direct* uses of nondeterminism (an unordered
+collection materialized straight into a payload, a bare ``random.random()``
+call).  RL008 strengthens it to dataflow: a value derived from set/dict
+iteration order, unseeded randomness, ``id()``/``hash()``, or a wall-clock
+read is *tainted*, taint propagates through assignment chains (and, because
+rules run on the call-graph-expanded program, through project-local helper
+calls), and a tainted name reaching a message payload or the node output is
+reported — even when the original source is several hops away.
+
+Wrapping a value in an order-insensitive cleanser (``sorted``, ``min``,
+``sum``, ... — see :data:`repro.lint.astutils.ORDER_CLEANSERS`) stops
+order-taint propagation, exactly as it silences RL002.
+
+To avoid double-reporting, RL008 stays silent where RL002 already fires:
+it only reports sinks reached through names RL002's one-hop analysis does
+not see, plus wall-clock reads (which RL002 does not cover at all).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .astutils import ProgramInfo
+from .findings import Finding
+
+#: Clock-reading attributes of the ``time`` module: process-dependent
+#: values that must not influence payloads, outputs, or branches.
+_CLOCK_ATTRS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+}
+
+_MAX_TAINT_PASSES = 8
+
+
+def _clock_call(program: ProgramInfo, n: ast.AST) -> Optional[str]:
+    if not isinstance(n, ast.Call):
+        return None
+    func = n.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+        and func.attr in _CLOCK_ATTRS
+        and "time" not in program.locals
+        and program.module.bindings.get("time") == "import"
+    ):
+        return f"time.{func.attr}"
+    return None
+
+
+def _source_in(program: ProgramInfo, expr: ast.AST) -> Optional[Tuple[str, int]]:
+    """A fresh taint source inside ``expr`` (description, line) or None."""
+    from .rules import _materializes_order, _random_call
+
+    nodes = [expr] + (
+        [] if isinstance(expr, (ast.Name, ast.Constant)) else [
+            n for n in ast.walk(expr) if n is not expr
+        ]
+    )
+    # Only *order-materialization* seeds a chain: RL002 already reports
+    # every random/id/hash call site directly (and RL008's clause (a)
+    # reports clock reads), so tracking those through assignments would
+    # double-report the same root cause.
+    for n in nodes:
+        if program.has_cleansing_ancestor(n) and n is not expr:
+            continue
+        how = _materializes_order(program, n)
+        if how is not None and not program.has_cleansing_ancestor(n):
+            return (how, getattr(n, "lineno", 0))
+    return None
+
+
+def _tainted_reads(
+    program: ProgramInfo, expr: ast.AST, taint: Dict[str, Tuple[str, int]]
+) -> Set[str]:
+    """Tainted names read in ``expr`` and not wrapped in a cleanser."""
+    out: Set[str] = set()
+    nodes = [expr] if isinstance(expr, ast.Name) else list(ast.walk(expr))
+    for n in nodes:
+        if (
+            isinstance(n, ast.Name)
+            and isinstance(n.ctx, ast.Load)
+            and n.id in taint
+            and not program.has_cleansing_ancestor(n)
+        ):
+            out.add(n.id)
+    return out
+
+
+def _direct_rl002_names(program: ProgramInfo) -> Set[str]:
+    """The one-hop tainted-name set RL002 already reports on."""
+    from .rules import _materializes_order
+
+    direct: Set[str] = set()
+    for n in program.own:
+        target = None
+        if isinstance(n, ast.Assign) and len(n.targets) == 1:
+            target = n.targets[0]
+        elif isinstance(n, ast.AnnAssign):
+            target = n.target
+        if (
+            target is not None
+            and isinstance(target, ast.Name)
+            and getattr(n, "value", None) is not None
+        ):
+            how = _materializes_order(program, n.value)
+            if how is not None and not program.has_cleansing_ancestor(n.value):
+                direct.add(target.id)
+    return direct
+
+
+def _assignments(program: ProgramInfo) -> List[Tuple[ast.AST, ast.AST, ast.AST]]:
+    """(stmt, target, value) triples for every simple binding form."""
+    out: List[Tuple[ast.AST, ast.AST, ast.AST]] = []
+    for n in program.own:
+        if isinstance(n, ast.Assign):
+            for target in n.targets:
+                out.append((n, target, n.value))
+        elif isinstance(n, ast.AnnAssign) and n.value is not None:
+            out.append((n, n.target, n.value))
+        elif isinstance(n, ast.AugAssign):
+            out.append((n, n.target, n.value))
+        elif isinstance(n, ast.NamedExpr):
+            out.append((n, n.target, n.value))
+        elif isinstance(n, ast.For):
+            out.append((n, n.target, n.iter))
+    return out
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    return {
+        n.id
+        for n in ast.walk(target)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+    }
+
+
+def _propagate(program: ProgramInfo) -> Dict[str, Tuple[str, int]]:
+    """Fixpoint taint map: name -> (source description, source line)."""
+    # Note: the inbox dict itself is NOT seeded as tainted — keyed reads
+    # like ``inbox[child]`` are deterministic; only *materializing its
+    # order* (list(inbox), iteration into a sequence) taints, and that is
+    # what _source_in detects.
+    taint: Dict[str, Tuple[str, int]] = {}
+    assignments = _assignments(program)
+    for _ in range(_MAX_TAINT_PASSES):
+        changed = False
+        for stmt, target, value in assignments:
+            names = _target_names(target)
+            if not names or all(n in taint for n in names):
+                continue
+            origin: Optional[Tuple[str, int]] = None
+            fresh = _source_in(program, value)
+            if fresh is not None:
+                origin = fresh
+            else:
+                via = _tainted_reads(program, value, taint)
+                if via:
+                    origin = taint[sorted(via)[0]]
+            if origin is not None:
+                for name in names:
+                    if name not in taint:
+                        taint[name] = origin
+                        changed = True
+        if not changed:
+            break
+    return taint
+
+
+def check_taint(program: ProgramInfo) -> Iterator[Finding]:
+    """RL008: nondeterminism reaching payloads/outputs through dataflow."""
+    from .rules import _finding, _sink_subtrees
+
+    # (a) wall-clock reads anywhere in the program: the value is
+    # process-dependent whether or not it visibly reaches a sink.
+    for n in program.own:
+        clock = _clock_call(program, n)
+        if clock is not None:
+            yield _finding(
+                program,
+                "RL008",
+                n,
+                f"{clock}(): wall-clock values are process-dependent and "
+                "make runs irreproducible; derive timing from round numbers",
+            )
+
+    # (b) transitive taint chains RL002's one-hop patterns cannot see.
+    taint = _propagate(program)
+    direct = _direct_rl002_names(program)
+    reported: Set[Tuple[int, str]] = set()
+    for sink, where in _sink_subtrees(program):
+        nodes = [sink] if isinstance(sink, ast.Name) else list(ast.walk(sink))
+        for n in nodes:
+            if not (
+                isinstance(n, ast.Name)
+                and isinstance(n.ctx, ast.Load)
+                and n.id in taint
+                and n.id not in direct
+                and not program.has_cleansing_ancestor(n)
+            ):
+                continue
+            key = (getattr(n, "lineno", 0), n.id)
+            if key in reported:
+                continue
+            reported.add(key)
+            source, line = taint[n.id]
+            yield _finding(
+                program,
+                "RL008",
+                n,
+                f"'{n.id}' is transitively derived from {source} (line "
+                f"{line}) and flows into {where}: nondeterminism survives "
+                "assignment chains; sort or seed at the source",
+            )

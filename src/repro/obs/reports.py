@@ -45,10 +45,40 @@ __all__ = [
     "render_markdown",
     "render_html",
     "run_dir",
+    "WORKLOAD_PROGRAMS",
+    "programs_for_workload",
 ]
 
 #: Bump when the report schema changes incompatibly.
 REPORT_SCHEMA = 1
+
+#: Node programs executed by each Session workload, as
+#: ``(module, lint qualname)`` pairs — the lookup table the RL009
+#: static-vs-observed conformance gate uses to find the statically
+#: certified bit/round bounds for a stored report.
+WORKLOAD_PROGRAMS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "decide": (
+        ("repro.distributed.elimination", "elimination_tree_program"),
+        ("repro.distributed.model_checking", "decision_program.<locals>.program"),
+    ),
+    "optimize": (
+        ("repro.distributed.elimination", "elimination_tree_program"),
+        ("repro.distributed.optimization", "optimization_program.<locals>.program"),
+    ),
+    "count": (
+        ("repro.distributed.elimination", "elimination_tree_program"),
+        ("repro.distributed.counting", "counting_program.<locals>.program"),
+    ),
+    # "certify" is deliberately absent: it runs the centralized
+    # prover + single-round verifier from repro.certification, not a
+    # registered node program — the gate skips workloads it has no
+    # static bound for.
+}
+
+
+def programs_for_workload(workload: str) -> Tuple[Tuple[str, str], ...]:
+    """The ``(module, qualname)`` pairs a workload's rounds execute."""
+    return WORKLOAD_PROGRAMS.get(workload, ())
 
 #: Metrics gated by default in ``diff_reports`` (relative tolerance 0.0:
 #: any increase from A to B is a breach; decreases never are).
@@ -125,6 +155,11 @@ class RunReport:
         for name in self.VOLATILE:
             data.pop(name, None)
         return data
+
+    @property
+    def max_payload_bits(self) -> int:
+        """The widest single message observed during this run (bits)."""
+        return int(self.metrics.get("max_message_bits", 0) or 0)
 
 
 def _plain(value: Any) -> Any:

@@ -1,0 +1,23 @@
+"""RL006 golden fixture: payloads that bust the declared CONGEST budget."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def concat_program(ctx: NodeContext):
+    # The accumulator grows by one O(log n) id per neighbor: its width is
+    # degree-dependent, so no O(log n)-family bound exists (⊤).
+    acc = ()
+    for nb in sorted(ctx.neighbors):
+        acc = acc + (nb,)
+    ctx.send_all(("blob", acc))
+    yield
+    return None
+
+
+@node_program(bits="O(1)")
+def beacon_program(ctx: NodeContext):
+    # A node id needs O(log n) bits — more than the declared O(1) budget.
+    ctx.send_all(("id", ctx.node))
+    yield
+    return None

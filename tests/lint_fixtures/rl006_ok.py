@@ -1,0 +1,26 @@
+"""RL006 near-miss fixture: every payload certifies within O(log n)."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    # A sum of budget-bounded terms: additive growth widens to one extra
+    # log n term, still inside the O(log n) family.
+    total = 0
+    inbox = yield
+    for nb in sorted(ctx.neighbors):
+        total = total + inbox.get(nb, 0)
+    # Masking pins the width to an 8-bit constant.
+    checksum = total & 255
+    ctx.send_all(("sum", total, checksum, ctx.node))
+    yield
+    return total
+
+
+@node_program(bits="O(1)")
+def pulse_program(ctx: NodeContext):
+    # Constant-width payloads satisfy even the strictest budget.
+    ctx.send_all(("pulse", 1, True))
+    yield
+    return None

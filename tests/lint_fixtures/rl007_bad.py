@@ -1,0 +1,12 @@
+"""RL007 golden fixture: a message-emitting loop with no static exit."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    # The loop yields (so RL003 is satisfied) but never breaks, returns,
+    # or raises: the number of message-emitting rounds is unbounded.
+    while True:
+        ctx.send_all(("ping", 1))
+        yield

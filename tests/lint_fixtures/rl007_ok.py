@@ -1,0 +1,25 @@
+"""RL007 near-miss fixtures: every message loop has a reachable exit."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    rounds = 0
+    while True:
+        ctx.send_all(("ping", rounds))
+        inbox = yield
+        rounds = rounds + 1
+        if rounds > ctx.degree:
+            break
+    yield
+    return rounds
+
+
+@node_program
+def raising_program(ctx: NodeContext):
+    while True:
+        ctx.send_all(("probe", 0))
+        inbox = yield
+        if inbox:
+            raise RuntimeError("partner answered out of protocol")

@@ -1,0 +1,21 @@
+"""RL008 golden fixture: nondeterminism reaching a payload through a chain.
+
+RL002's one-hop patterns cannot see either violation here: the
+materialized inbox order travels through a second assignment before it
+is sent, and the wall-clock read is not covered by RL002 at all.
+"""
+
+import time
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    inbox = yield
+    first = list(inbox)
+    relay = first
+    stamp = time.monotonic()
+    ctx.send_all(("pick", relay[0]))
+    yield
+    return stamp is not None

@@ -1,0 +1,16 @@
+"""RL008 near-miss fixture: chains cleansed at the source stay silent."""
+
+from repro.congest import NodeContext, node_program
+
+
+@node_program
+def program(ctx: NodeContext):
+    inbox = yield
+    # Sorting at the source makes every downstream hop deterministic.
+    first = sorted(inbox)
+    relay = first
+    # Keyed dict reads are deterministic even on an unordered inbox.
+    value = inbox.get(min(ctx.neighbors), 0)
+    ctx.send_all(("pick", relay[0], value))
+    yield
+    return None
