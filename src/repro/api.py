@@ -261,13 +261,55 @@ class Session:
         }
 
     def _replay_json(self) -> Dict[str, Any]:
-        """``replay_args`` reduced to JSON-native values for RunReports."""
+        """``replay_args`` reduced to JSON-native values for RunReports.
+
+        Inverse of :meth:`from_replay`: every value is a JSON scalar or
+        dict, so a stored report (or a ``repro fuzz`` replay file) can
+        reconstruct the session without evaluating reprs.
+        """
         replay = dict(self.replay_args)
         if replay.get("faults") is not None:
             replay["faults"] = replay["faults"].to_dict()
         if replay.get("retry") is not None:
-            replay["retry"] = repr(replay["retry"])
+            replay["retry"] = {"attempts": replay["retry"].attempts}
         return replay
+
+    @classmethod
+    def from_replay(
+        cls, graph: Graph, d: int, replay: Mapping[str, Any], **overrides: Any
+    ) -> "Session":
+        """Rebuild a session from JSON-native replay arguments.
+
+        Accepts both the live :attr:`replay_args` mapping (FaultPlan /
+        RetryPolicy instances pass through) and its :meth:`_replay_json`
+        encoding as stored in run reports and fuzz replay files, where
+        ``faults`` is a :meth:`~repro.faults.FaultPlan.to_dict` dict and
+        ``retry`` is ``{"attempts": n}``.  ``overrides`` win over the
+        replayed values (e.g. ``cache=...`` for an isolated rerun).
+        """
+        from .faults import FaultPlan, RetryPolicy
+
+        kwargs: Dict[str, Any] = dict(replay)
+        unknown = set(kwargs) - {
+            "seed", "inbox_order", "faults", "retry", "budget", "engine"
+        }
+        if unknown:
+            raise ReproError(
+                f"unknown replay argument(s): {sorted(unknown)}"
+            )
+        faults = kwargs.get("faults")
+        if isinstance(faults, Mapping):
+            kwargs["faults"] = FaultPlan.from_dict(dict(faults))
+        retry = kwargs.get("retry")
+        if isinstance(retry, Mapping):
+            try:
+                kwargs["retry"] = RetryPolicy(attempts=int(retry["attempts"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ReproError(
+                    f"malformed retry encoding {retry!r}: {exc}"
+                ) from exc
+        kwargs.update(overrides)
+        return cls(graph, d, **kwargs)
 
     def _observe(self, workload: str) -> _Observation:
         return _Observation(self, workload)

@@ -10,6 +10,7 @@ Commands
 ``catalog``   list the built-in formula catalog
 ``trace``     run any command above with instrumentation enabled
 ``faults``    replay a fault-injection plan against the CONGEST pipeline
+``fuzz``      run the metamorphic conformance harness (``repro.testkit``)
 ``lint``      CONGEST-conformance static analysis of node programs
 ``report``    list / render / diff persisted RunReports
 ``bench``     gate fresh benchmark results against committed baselines
@@ -420,6 +421,56 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if result.verdict else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .algebra.cache import AutomatonCache
+    from .testkit import (
+        FuzzConfig,
+        check_metamorphic,
+        differential_check,
+        load_case,
+        replay_roundtrip_check,
+        run_fuzz,
+    )
+
+    if args.replay:
+        case, meta = load_case(args.replay)
+        print(f"replay: {case.describe()}")
+        if meta.get("kinds"):
+            print(f"pinned kinds: {', '.join(meta['kinds'])}")
+        cache = AutomatonCache(persist=False)
+        found = differential_check(case, cache=cache)
+        if case.workload != "certify":
+            found.extend(check_metamorphic(case, cache=cache))
+            found.extend(replay_roundtrip_check(case, cache=cache))
+        for disc in found:
+            print(f"FAIL {disc.format()}")
+        if not found:
+            print("replay: conformant (0 discrepancies)")
+            return 0
+        if any(d.kind == "treedepth" for d in found):
+            return 2
+        return 1
+
+    config = FuzzConfig(
+        cases=args.cases,
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        max_vertices=args.max_vertices,
+        metamorphic_every=args.metamorphic_every,
+        max_shrinks=args.max_shrinks,
+    )
+    report = run_fuzz(config, log=print)
+    for path in report.replay_files:
+        print(f"replay file: {path}")
+    if report.errors:
+        for line in report.errors:
+            print(f"harness error: {line}", file=sys.stderr)
+        return 3
+    if any(d.kind == "treedepth" for d in report.discrepancies):
+        return 2
+    return 1 if report.discrepancies else 0
+
+
 def _write_fault_trace(tracer: Optional[Tracer], path: Optional[str]) -> None:
     if tracer is None or not path:
         return
@@ -657,6 +708,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--jsonl", default=None, metavar="PATH",
                           help="write the fault-event trace as JSON lines")
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="run the metamorphic conformance harness",
+        description="Generates seeded conformance cases and checks the "
+        "CONGEST pipeline against sequential semantics (differential "
+        "matrix over engines, inbox orders, and fault plans, plus "
+        "metamorphic relations).  Failing cases are shrunk and written "
+        "to the corpus as content-addressed replay files.  Exit codes "
+        "mirror `repro faults`: 0 conformant, 1 discrepancies, 2 "
+        "treedepth-promise violations, 3 harness errors.",
+    )
+    p_fuzz.add_argument("--cases", type=int, default=100, metavar="N",
+                        help="number of fresh cases to generate "
+                        "(default 100)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0); the (seed, "
+                        "cases) pair names a reproducible suite")
+    p_fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                        help="replay every case in DIR first, and write "
+                        "shrunk failures there")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run one replay file through the full "
+                        "oracle instead of fuzzing")
+    p_fuzz.add_argument("--max-vertices", type=int, default=12,
+                        metavar="N",
+                        help="bound on generated graph sizes (default 12)")
+    p_fuzz.add_argument("--metamorphic-every", type=int, default=5,
+                        metavar="K",
+                        help="run metamorphic + replay round-trip checks "
+                        "on every K-th case (default 5; 0 disables)")
+    p_fuzz.add_argument("--max-shrinks", type=int, default=3, metavar="N",
+                        help="failing cases to minimize per run "
+                        "(default 3)")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_trace = sub.add_parser(
         "trace",

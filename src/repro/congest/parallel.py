@@ -73,7 +73,10 @@ def _call_worker(args):
     try:
         return ShardResult(shard=shard, value=worker(params))
     except Exception as exc:  # surfaced to the caller, never swallowed
-        return ShardResult(shard=shard, error=f"{type(exc).__name__}: {exc}")
+        return ShardResult(
+            shard=shard,
+            error=f"shard {shard.index}: {type(exc).__name__}: {exc}",
+        )
 
 
 def run_sweep(

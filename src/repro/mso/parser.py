@@ -23,7 +23,15 @@ Grammar (precedence low to high: <->, ->, |, &, !)::
               | 'degrees' '(' t ',' '{' INT {',' INT} '}' [',' t] ')'
               | 'crosses' '(' t ',' t ',' t ')' | 'touches' '(' t ',' t ')'
               | 'endpoints' '(' t ',' t ')'
+              | 'contains' '(' INT ',' '{' [INT INT {',' INT INT}] '}'
+                           [',' 'induced'] ')'
               | t '=' t | t 'in' t
+
+``contains(n, {u v, ...})`` is the fixed-pattern atom
+(:class:`~repro.mso.syntax.ContainsPattern`): does G contain the
+pattern graph on vertices 0..n-1 with the listed edges as a subgraph
+(``induced`` for induced containment)?  E.g. the claw is
+``contains(4, {0 1, 0 2, 0 3})``.
 """
 
 from __future__ import annotations
@@ -68,6 +76,7 @@ _KEYWORDS = {
     "edgecovers",
     "parity",
     "clique",
+    "contains",
 }
 
 
@@ -261,6 +270,8 @@ class _Parser:
             x = self._var()
             self._expect(")")
             return sx.IsClique(x)
+        if value == "contains":
+            return self._contains()
         if value == "crosses":
             self._next()
             self._expect("(")
@@ -324,6 +335,45 @@ class _Parser:
                 within = self._var()
         self._expect(")")
         return sx.IncCounts(e, frozenset(allowed), within, cap=cap)
+
+    def _contains(self) -> Formula:
+        # contains(N, {U V {, U V}} [, induced])
+        self._next()
+        self._expect("(")
+        kind, num = self._next()
+        if kind != "int":
+            raise FormulaError(f"expected pattern size, got {num!r}")
+        n = int(num)
+        self._expect(",")
+        self._expect("{")
+        edges = set()
+        if not self._at("}"):
+            while True:
+                kind_u, u = self._next()
+                kind_v, v = self._next()
+                if kind_u != "int" or kind_v != "int":
+                    raise FormulaError(
+                        f"expected a pattern edge 'U V', got {u!r} {v!r}"
+                    )
+                i, j = sorted((int(u), int(v)))
+                if not 0 <= i < j < n:
+                    raise FormulaError(
+                        f"pattern edge {u} {v} is not over 0..{n - 1}"
+                    )
+                edges.add((i, j))
+                if not self._eat(","):
+                    break
+        self._expect("}")
+        induced = False
+        if self._eat(","):
+            kind, word = self._next()
+            if word != "induced":
+                raise FormulaError(f"expected 'induced', got {word!r}")
+            induced = True
+        self._expect(")")
+        return sx.ContainsPattern(
+            num_vertices=n, edges=frozenset(edges), induced=induced
+        )
 
     def _parity(self) -> Formula:
         # parity(E, even|odd [, within])

@@ -28,6 +28,9 @@ name                                           type       labels
 ``repro_cache_disk_loads_total``               counter
 ``repro_sweeps_total``                         counter
 ``repro_sweep_shards_total``                   counter
+``repro_fuzz_cases_total``                     counter    ``source``
+``repro_fuzz_discrepancies_total``             counter    ``kind``
+``repro_fuzz_shrink_steps_total``              counter
 ``repro_round_messages``                       histogram
 ``repro_workload_seconds``                     histogram  ``workload``
 =============================================  =========  =================

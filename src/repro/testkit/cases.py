@@ -1,0 +1,265 @@
+"""The conformance-case value and its content-addressed serialization.
+
+A :class:`Case` is everything the differential oracle needs to reproduce
+one conformance check: the graph, the treedepth promise, the formula (with
+its free-variable scope), the workload, and the optional fault axis.
+Cases serialize to plain JSON — graphs via the :mod:`repro.graph.io` text
+format, formulas via :func:`formula_to_source` (a printer for the
+:func:`repro.mso.parse` grammar), fault plans via
+:meth:`~repro.faults.FaultPlan.to_dict` — so a failing case replays from
+its file alone, byte-for-byte, on any machine.
+
+``Case.case_id`` is the sha256 digest of the canonical JSON encoding;
+corpus files are named by it, so the corpus is content-addressed and two
+shrinks of the same failure dedupe automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from ..faults import FaultPlan
+from ..graph import Graph
+from ..graph import io as graph_io
+from ..mso import Sort, parse
+from ..mso import syntax as sx
+
+__all__ = ["Case", "WORKLOADS", "formula_to_source", "formula_from_source"]
+
+#: Workloads a case can exercise (mirrors :data:`repro.api.WORKLOADS`).
+WORKLOADS = ("decide", "optimize", "count", "certify")
+
+_SORT_CODES = {
+    Sort.VERTEX: "V",
+    Sort.EDGE: "E",
+    Sort.VERTEX_SET: "VS",
+    Sort.EDGE_SET: "ES",
+}
+_CODE_SORTS = {code: sort for sort, code in _SORT_CODES.items()}
+
+
+# ----------------------------------------------------------------------
+# Formula codec: syntax tree -> parser-grammar text -> syntax tree
+# ----------------------------------------------------------------------
+
+def formula_to_source(formula: sx.Formula) -> str:
+    """Print ``formula`` in the :func:`repro.mso.parse` text grammar.
+
+    Covers the fragment the case generators emit (boolean connectives,
+    quantifiers, and the atom families with a concrete parser spelling).
+    ``parse(formula_to_source(f), free=...) == f`` for every supported
+    formula — the round-trip is pinned by the testkit tests.
+    """
+    return _source(formula)
+
+
+def _wrap(formula: sx.Formula) -> str:
+    """A sub-term rendering that is safe inside ``&`` / ``|`` / ``!``."""
+    text = _source(formula)
+    if isinstance(formula, (sx.And, sx.Or)):
+        return text  # already parenthesized
+    if isinstance(formula, (sx.Exists, sx.Forall, sx.Eq, sx.In)):
+        return f"({text})"
+    return text
+
+
+def _source(f: sx.Formula) -> str:
+    if isinstance(f, sx.Truth):
+        return "true" if f.value else "false"
+    if isinstance(f, sx.Adj):
+        return f"adj({f.x.name}, {f.y.name})"
+    if isinstance(f, sx.Inc):
+        return f"inc({f.x.name}, {f.e.name})"
+    if isinstance(f, sx.Eq):
+        return f"{f.x.name} = {f.y.name}"
+    if isinstance(f, sx.In):
+        return f"{f.x.name} in {f.s.name}"
+    if isinstance(f, sx.Subset):
+        names = ", ".join(b.name for b in f.bs)
+        return f"subset({f.a.name}, {names})"
+    if isinstance(f, sx.NonEmpty):
+        return f"nonempty({f.a.name})"
+    if isinstance(f, sx.HasLabel):
+        return f"label({f.label}, {f.a.name})"
+    if isinstance(f, sx.AllHaveLabel):
+        return f"alllabel({f.label}, {f.a.name})"
+    if isinstance(f, sx.SetsIntersect):
+        return f"intersects({f.a.name}, {f.b.name})"
+    if isinstance(f, sx.AllVerticesIn):
+        names = ", ".join(b.name for b in f.bs)
+        return f"covers({names})"
+    if isinstance(f, sx.AllEdgesIn):
+        names = ", ".join(b.name for b in f.bs)
+        return f"edgecovers({names})"
+    if isinstance(f, sx.EdgeCross):
+        if f.y is None:
+            return f"touches({f.e.name}, {f.x.name})"
+        return f"crosses({f.e.name}, {f.x.name}, {f.y.name})"
+    if isinstance(f, sx.EndpointsIn):
+        return f"endpoints({f.e.name}, {f.x.name})"
+    if isinstance(f, sx.IncCounts):
+        classes = ", ".join(str(c) for c in sorted(f.allowed))
+        within = f", {f.within.name}" if f.within is not None else ""
+        return f"degrees({f.e.name}, {{{classes}}}{within}, cap={f.cap})"
+    if isinstance(f, sx.IncParity):
+        word = "even" if f.even else "odd"
+        within = f", {f.within.name}" if f.within is not None else ""
+        return f"parity({f.e.name}, {word}{within})"
+    if isinstance(f, sx.IsClique):
+        return f"clique({f.x.name})"
+    if isinstance(f, sx.ContainsPattern):
+        pairs = ", ".join(f"{i} {j}" for i, j in sorted(f.edges))
+        induced = ", induced" if f.induced else ""
+        return f"contains({f.num_vertices}, {{{pairs}}}{induced})"
+    if isinstance(f, sx.Not):
+        return f"!{_wrap(f.inner)}"
+    if isinstance(f, sx.And):
+        return "(" + " & ".join(_wrap(p) for p in f.parts) + ")"
+    if isinstance(f, sx.Or):
+        return "(" + " | ".join(_wrap(p) for p in f.parts) + ")"
+    if isinstance(f, sx.Exists):
+        code = _SORT_CODES[f.var.sort]
+        return f"exists {f.var.name}:{code} . {_source(f.body)}"
+    if isinstance(f, sx.Forall):
+        code = _SORT_CODES[f.var.sort]
+        return f"forall {f.var.name}:{code} . {_source(f.body)}"
+    raise ReproError(
+        f"formula_to_source does not support {type(f).__name__}; "
+        "generate cases from the parseable fragment"
+    )
+
+
+def formula_from_source(
+    text: str, free: Optional[Dict[str, str]] = None
+) -> Tuple[sx.Formula, Tuple[sx.Var, ...]]:
+    """Parse a serialized formula; returns (formula, name-sorted scope)."""
+    declared = {
+        name: _CODE_SORTS[code] for name, code in (free or {}).items()
+    }
+    formula = parse(text, free=declared)
+    scope = tuple(
+        sorted((sx.Var(n, s) for n, s in declared.items()),
+               key=lambda v: v.name)
+    )
+    return formula, scope
+
+
+# ----------------------------------------------------------------------
+# The case value
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Case:
+    """One conformance check: graph × promise × formula × workload.
+
+    ``scope`` is the name-sorted tuple of free variables (empty for the
+    closed workloads ``decide`` / ``certify``; exactly one set variable
+    for ``optimize``).  ``plan`` / ``retry_attempts`` describe the
+    optional lossy axis: when set, the oracle additionally runs the
+    workload under the fault plan with the redundancy synchronizer and
+    requires agreement-or-fail-closed.  ``seed`` seeds the simulator;
+    ``note`` records generator provenance for corpus triage.
+    """
+
+    graph: Graph
+    d: int
+    formula: sx.Formula
+    workload: str
+    scope: Tuple[sx.Var, ...] = ()
+    sense: str = "max"
+    seed: int = 0
+    plan: Optional[FaultPlan] = None
+    retry_attempts: int = 0
+    note: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ReproError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {WORKLOADS}"
+            )
+        if self.sense not in ("max", "min"):
+            raise ReproError(f"sense must be 'max' or 'min', not {self.sense!r}")
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-native encoding; inverse of :meth:`from_dict`."""
+        data: Dict[str, Any] = {
+            "workload": self.workload,
+            "graph": graph_io.dumps(self.graph),
+            "d": self.d,
+            "formula": formula_to_source(self.formula),
+            "free": {v.name: _SORT_CODES[v.sort] for v in self.scope},
+            "seed": self.seed,
+            "note": self.note,
+        }
+        if self.workload == "optimize":
+            data["sense"] = self.sense
+        if self.plan is not None:
+            data["plan"] = self.plan.to_dict()
+            data["retry_attempts"] = self.retry_attempts
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Case":
+        try:
+            graph = graph_io.loads(data["graph"])
+            formula, scope = formula_from_source(
+                data["formula"], data.get("free") or {}
+            )
+            plan = (
+                FaultPlan.from_dict(data["plan"])
+                if data.get("plan") is not None else None
+            )
+            return cls(
+                graph=graph,
+                d=int(data["d"]),
+                formula=formula,
+                workload=data["workload"],
+                scope=scope,
+                sense=data.get("sense", "max"),
+                seed=int(data.get("seed", 0)),
+                plan=plan,
+                retry_attempts=int(data.get("retry_attempts", 0)),
+                note=data.get("note", ""),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed case encoding: {exc}") from exc
+
+    @property
+    def case_id(self) -> str:
+        """sha256 of the canonical JSON encoding (content address).
+
+        ``note`` is provenance, not identity: two shrinks of the same
+        failure from different fuzz runs must collide.
+        """
+        payload = self.to_dict()
+        payload.pop("note", None)
+        material = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":"))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def with_graph(self, graph: Graph, d: Optional[int] = None) -> "Case":
+        """A copy on another graph (promise recomputed unless given)."""
+        from ..treedepth import best_heuristic_forest
+
+        if d is None:
+            d = max(1, best_heuristic_forest(graph).depth())
+        return replace(self, graph=graph, d=d)
+
+    def with_formula(self, formula: sx.Formula) -> "Case":
+        return replace(self, formula=formula)
+
+    def describe(self) -> str:
+        """One human line for fuzz logs and replay output."""
+        extra = f" plan={self.plan.describe()}" if self.plan else ""
+        return (
+            f"{self.workload} n={self.graph.num_vertices()} "
+            f"m={self.graph.num_edges()} d={self.d} seed={self.seed}"
+            f"{extra} :: {formula_to_source(self.formula)}"
+        )

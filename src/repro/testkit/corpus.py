@@ -1,0 +1,81 @@
+"""Content-addressed replay files for conformance cases.
+
+A corpus directory holds one JSON file per case, named by a prefix of
+the case's sha256 content address, so re-saving the same failure is a
+no-op and two shrinks of one bug dedupe automatically.  Files carry a
+``format`` tag and a free-form ``meta`` block (discrepancy kinds, shrink
+provenance) that does **not** enter the content address — the case alone
+determines identity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..errors import ReproError
+from .cases import Case
+
+__all__ = ["CORPUS_FORMAT", "save_case", "load_case", "iter_corpus"]
+
+CORPUS_FORMAT = "repro-testkit-case/1"
+
+#: Filename prefix length; 16 hex chars = 64 bits, ample for a corpus.
+_NAME_LEN = 16
+
+
+def save_case(
+    case: Case,
+    directory: str,
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write ``case`` into ``directory``; returns the file path.
+
+    Overwrites an existing file with the same content address (the case
+    payload is identical by construction; only ``meta`` can differ).
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{case.case_id[:_NAME_LEN]}.json")
+    payload = {
+        "format": CORPUS_FORMAT,
+        "case": case.to_dict(),
+        "meta": meta or {},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_case(path: str) -> Tuple[Case, Dict[str, Any]]:
+    """Read one replay file; returns ``(case, meta)``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read corpus file {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corpus file {path!r} is not JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "case" not in payload:
+        raise ReproError(f"corpus file {path!r} has no 'case' payload")
+    tag = payload.get("format")
+    if tag != CORPUS_FORMAT:
+        raise ReproError(
+            f"corpus file {path!r} has format {tag!r}; "
+            f"this testkit reads {CORPUS_FORMAT!r}"
+        )
+    case = Case.from_dict(payload["case"])
+    meta = payload.get("meta") or {}
+    return case, meta
+
+
+def iter_corpus(directory: str) -> Iterator[Tuple[str, Case, Dict[str, Any]]]:
+    """Yield ``(path, case, meta)`` for every replay file, name-sorted."""
+    if not os.path.isdir(directory):
+        return
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        yield (path,) + load_case(path)

@@ -1,0 +1,280 @@
+"""Seeded, size-bounded case generators for the conformance harness.
+
+One :class:`CaseGenerator` instance owns a ``random.Random(seed)`` stream;
+the i-th case drawn from seed s is the same on every machine and every
+run, so ``repro fuzz --seed 8 --cases 200`` names a reproducible suite,
+not a lottery ticket.
+
+Graphs come from the families the paper reasons about — random trees,
+random bounded-treedepth compositions (the generator's elimination tree
+is kept as a subgraph, so the promise ``d`` is honest), grids, cycles,
+stars, caterpillars, and the Section 1.1 ``path + claw`` lower-bound
+family — optionally decorated with ``red``/``blue`` vertex labels and
+small integer weights.  Formulas mix the closed catalog (triangle-free,
+acyclicity, 2-colorability, claw-freeness, …) with randomly grown trees
+over the parseable MSO fragment, plus free-set formulas for ``optimize``
+and free-variable formulas for ``count``.  A minority of ``decide``
+cases additionally carry a lossy fault plan and a retry budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..faults import FaultPlan
+from ..graph import Graph
+from ..graph import generators as graphgen
+from ..mso import Sort, formulas
+from ..mso import syntax as sx
+from ..treedepth import best_heuristic_forest
+from .cases import Case
+
+__all__ = ["CaseGenerator"]
+
+_LABELS = ("red", "blue")
+
+
+def _promise(graph: Graph) -> int:
+    """An honest treedepth promise: the best heuristic forest's depth."""
+    return max(1, best_heuristic_forest(graph).depth())
+
+
+#: Evaluating a formula costs a tower of powerset constructions, one per
+#: nested quantifier, compounded once per elimination-forest level — rank-4
+#: formulas on depth-3 forests take minutes where rank-3 ones take
+#: milliseconds.  The generator therefore only pairs deep formulas with
+#: shallow (depth <= 2) forests.
+_MAX_CHEAP_RANK = 3
+
+
+def _quantifier_rank(formula: sx.Formula) -> int:
+    """Maximum quantifier nesting depth (element and set alike)."""
+    if isinstance(formula, (sx.Exists, sx.Forall)):
+        return 1 + _quantifier_rank(formula.body)
+    if isinstance(formula, sx.Not):
+        return _quantifier_rank(formula.inner)
+    if isinstance(formula, (sx.And, sx.Or)):
+        return max((_quantifier_rank(p) for p in formula.parts), default=0)
+    return 0
+
+
+class CaseGenerator:
+    """A deterministic stream of conformance cases.
+
+    ``max_vertices`` bounds every generated graph; ``fault_rate`` is the
+    fraction of ``decide`` cases that carry a lossy plan.
+    """
+
+    def __init__(self, seed: int = 0, *, max_vertices: int = 12,
+                 fault_rate: float = 0.2):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.max_vertices = max_vertices
+        self.fault_rate = fault_rate
+        self._drawn = 0
+
+    # -- graphs ----------------------------------------------------------
+
+    def graph(self) -> Tuple[Graph, str]:
+        """A connected graph from one of the paper's families."""
+        rng = self.rng
+        cap = self.max_vertices
+        family = rng.choice((
+            "tree", "tree", "bounded", "bounded", "bounded",
+            "grid", "cycle", "star", "caterpillar", "claw", "clique",
+        ))
+        if family == "tree":
+            g = graphgen.random_tree(rng.randint(2, cap), seed=rng.randrange(10 ** 6))
+        elif family == "bounded":
+            g = graphgen.random_bounded_treedepth(
+                rng.randint(4, cap), rng.randint(2, 3),
+                rng.choice((0.3, 0.5, 0.8)), seed=rng.randrange(10 ** 6),
+            )
+        elif family == "grid":
+            g = graphgen.grid(2, rng.randint(2, max(2, cap // 3)))
+        elif family == "cycle":
+            g = graphgen.cycle(rng.randint(3, min(8, cap)))
+        elif family == "star":
+            g = graphgen.star(rng.randint(1, cap - 1))
+        elif family == "caterpillar":
+            g = graphgen.caterpillar(rng.randint(2, 4), rng.randint(0, 2))
+        elif family == "claw":
+            g = graphgen.path_with_claw(rng.randint(3, min(6, cap - 4)))
+        else:
+            g = graphgen.clique(rng.randint(2, 4))
+        if rng.random() < 0.4:
+            self._decorate(g)
+        return g, family
+
+    def _decorate(self, graph: Graph) -> None:
+        """Sprinkle labels (and occasionally weights) over a graph."""
+        rng = self.rng
+        for v in graph.vertices():
+            if rng.random() < 0.5:
+                graph.add_vertex_label(v, rng.choice(_LABELS))
+        if rng.random() < 0.3:
+            for v in graph.vertices():
+                graph.set_vertex_weight(v, rng.randint(1, 3))
+
+    # -- formulas --------------------------------------------------------
+
+    _CLOSED_POOL = (
+        formulas.triangle_free,
+        formulas.acyclic,
+        formulas.connected,
+        lambda: formulas.k_colorable(2),
+        lambda: formulas.h_free(graphgen.claw()),
+        formulas.has_even_subgraph,
+        lambda: formulas.exists_vertex_of_degree_greater_fo(2),
+    )
+
+    #: Closed catalog formulas whose verdict composes over disjoint union
+    #: as a conjunction (hereditary / component-wise properties).
+    _UNION_POOL = (
+        formulas.triangle_free,
+        formulas.acyclic,
+        lambda: formulas.k_colorable(2),
+        lambda: formulas.h_free(graphgen.claw()),
+    )
+
+    def closed_formula(self) -> Tuple[sx.Formula, str]:
+        """A closed formula: catalog, union-composable, or random tree."""
+        roll = self.rng.random()
+        if roll < 0.35:
+            return self.rng.choice(self._CLOSED_POOL)(), "catalog"
+        if roll < 0.55:
+            return self.rng.choice(self._UNION_POOL)(), "union"
+        return self._random_closed(), "random"
+
+    def affordable_closed_formula(self, depth: int) -> Tuple[sx.Formula, str]:
+        """A closed formula whose rank is affordable on a depth-``depth``
+        forest (see :data:`_MAX_CHEAP_RANK`); redraws are deterministic."""
+        formula, flavor = self.closed_formula()
+        for _ in range(8):
+            if depth <= 2 or _quantifier_rank(formula) <= _MAX_CHEAP_RANK:
+                return formula, flavor
+            formula, flavor = self.closed_formula()
+        return formulas.triangle_free(), "catalog"
+
+    def _atom(self, pool: List[sx.Var]) -> sx.Formula:
+        """A random atom over the element variables in ``pool``."""
+        rng = self.rng
+        x = rng.choice(pool)
+        y = rng.choice(pool)
+        kind = rng.randrange(4)
+        if kind == 0:
+            return sx.Adj(x, y)
+        if kind == 1:
+            return sx.Eq(x, y)
+        if kind == 2:
+            return sx.HasLabel(x, rng.choice(_LABELS))
+        return sx.Truth(rng.random() < 0.5)
+
+    def _random_closed(self) -> sx.Formula:
+        """A small random closed formula over 2-3 vertex variables."""
+        rng = self.rng
+        names = ("x", "y", "z")[: rng.randint(2, 3)]
+        pool = [sx.Var(n, Sort.VERTEX) for n in names]
+        atoms = [self._atom(pool) for _ in range(rng.randint(2, 4))]
+        body: sx.Formula = (
+            sx.And(tuple(atoms)) if rng.random() < 0.6 else sx.Or(tuple(atoms))
+        )
+        if rng.random() < 0.4:
+            body = sx.Not(body)
+        for var in reversed(pool):
+            body = (
+                sx.Exists(var, body) if rng.random() < 0.7
+                else sx.Forall(var, body)
+            )
+        if rng.random() < 0.3:
+            body = sx.Not(body)
+        return body
+
+    _OPT_POOL = (
+        (formulas.independent_set, Sort.VERTEX_SET),
+        (formulas.vertex_cover, Sort.VERTEX_SET),
+        (formulas.dominating_set, Sort.VERTEX_SET),
+        (formulas.matching, Sort.EDGE_SET),
+        (formulas.clique_set, Sort.VERTEX_SET),
+    )
+
+    def optimize_formula(self) -> Tuple[sx.Formula, sx.Var]:
+        factory, sort = self.rng.choice(self._OPT_POOL)
+        var = sx.Var("S", sort)
+        return factory(var), var
+
+    def count_formula(self) -> Tuple[sx.Formula, Tuple[sx.Var, ...]]:
+        """A formula with free variables for the counting workload."""
+        rng = self.rng
+        kind = rng.randrange(3)
+        if kind == 0:
+            # Count vertices with a first-order neighborhood property.
+            x = sx.Var("x", Sort.VERTEX)
+            y = sx.Var("y", Sort.VERTEX)
+            body = sx.And((sx.Adj(x, y), sx.Not(sx.Eq(x, y))))
+            return sx.Exists(y, body), (x,)
+        if kind == 1:
+            # Count labeled vertices.
+            x = sx.Var("x", Sort.VERTEX)
+            return sx.HasLabel(x, rng.choice(_LABELS)), (x,)
+        # Count independent sets (set-variable counting).
+        s = sx.Var("S", Sort.VERTEX_SET)
+        return formulas.independent_set(s), (s,)
+
+    # -- fault axis ------------------------------------------------------
+
+    def fault_axis(self) -> Tuple[Optional[FaultPlan], int]:
+        rng = self.rng
+        if rng.random() >= self.fault_rate:
+            return None, 0
+        plan = FaultPlan(
+            seed=rng.randrange(10 ** 6),
+            drop_rate=rng.choice((0.02, 0.05)),
+            duplicate_rate=rng.choice((0.0, 0.02)),
+        )
+        return plan, 3
+
+    # -- cases -----------------------------------------------------------
+
+    def case(self) -> Case:
+        """The next case in the stream."""
+        rng = self.rng
+        self._drawn += 1
+        graph, family = self.graph()
+        promise = _promise(graph)
+        roll = rng.random()
+        seed = rng.randrange(10 ** 6)
+        if roll < 0.45:
+            formula, flavor = self.affordable_closed_formula(promise)
+            plan, retries = self.fault_axis()
+            return Case(
+                graph=graph, d=promise, formula=formula,
+                workload="decide", seed=seed, plan=plan,
+                retry_attempts=retries,
+                note=f"decide/{flavor}/{family}#{self._drawn}",
+            )
+        if roll < 0.65:
+            formula, scope = self.count_formula()
+            return Case(
+                graph=graph, d=promise, formula=formula,
+                workload="count", scope=scope, seed=seed,
+                note=f"count/{family}#{self._drawn}",
+            )
+        if roll < 0.9:
+            formula, var = self.optimize_formula()
+            return Case(
+                graph=graph, d=promise, formula=formula,
+                workload="optimize", scope=(var,),
+                sense=rng.choice(("max", "min")), seed=seed,
+                note=f"optimize/{family}#{self._drawn}",
+            )
+        formula, flavor = self.affordable_closed_formula(promise)
+        return Case(
+            graph=graph, d=promise, formula=formula,
+            workload="certify", seed=seed,
+            note=f"certify/{flavor}/{family}#{self._drawn}",
+        )
+
+    def cases(self, count: int) -> List[Case]:
+        return [self.case() for _ in range(count)]

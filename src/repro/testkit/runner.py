@@ -1,0 +1,197 @@
+"""The fuzz loop: replay the corpus, generate fresh cases, shrink hits.
+
+:func:`run_fuzz` is the engine behind ``repro fuzz``:
+
+1. **replay** — every case in ``config.corpus_dir`` runs through the full
+   differential matrix first, so committed regressions stay pinned;
+2. **generate** — ``config.cases`` fresh cases from
+   :class:`~repro.testkit.generators.CaseGenerator` seeded with
+   ``config.seed``; every ``config.metamorphic_every``-th case also runs
+   the metamorphic relations;
+3. **shrink** — the first ``config.max_shrinks`` failing cases are
+   greedily minimized with the same oracle and written to the corpus as
+   content-addressed replay files (when a corpus directory is set).
+
+One in-memory :class:`~repro.algebra.cache.AutomatonCache` is shared by
+the whole run so formula compilation amortizes across cases; the cache is
+deliberately non-persistent so a fuzz run never mutates the user's disk
+cache.  Progress counters land in the process metrics registry
+(``repro_fuzz_cases_total``, ``repro_fuzz_discrepancies_total``,
+``repro_fuzz_shrink_steps_total``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..algebra.cache import AutomatonCache
+from ..obs.registry import registry
+from .cases import Case
+from .corpus import iter_corpus, save_case
+from .generators import CaseGenerator
+from .metamorphic import check_metamorphic
+from .oracles import (
+    Discrepancy,
+    Reference,
+    differential_check,
+    replay_roundtrip_check,
+)
+from .shrink import shrink_case
+
+__all__ = ["FuzzConfig", "FuzzReport", "run_fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything one fuzz run depends on (mirrors the CLI flags)."""
+
+    cases: int = 100
+    seed: int = 0
+    corpus_dir: Optional[str] = None
+    max_vertices: int = 12
+    metamorphic_every: int = 5
+    max_shrinks: int = 3
+    shrink_budget: int = 200
+    reference: Optional[Callable[[Case, AutomatonCache], Reference]] = None
+
+
+@dataclass
+class FuzzReport:
+    """What a fuzz run found, and where the evidence lives."""
+
+    cases_run: int = 0
+    replayed: int = 0
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+    shrunk: List[Tuple[Case, Case]] = field(default_factory=list)
+    replay_files: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies and not self.errors
+
+    def summary(self) -> str:
+        kinds: Dict[str, int] = {}
+        for d in self.discrepancies:
+            kinds[d.kind] = kinds.get(d.kind, 0) + 1
+        breakdown = (
+            " (" + ", ".join(f"{k}×{n}" for k, n in sorted(kinds.items())) + ")"
+            if kinds else ""
+        )
+        return (
+            f"{self.cases_run} cases ({self.replayed} replayed): "
+            f"{len(self.discrepancies)} discrepancies{breakdown}, "
+            f"{len(self.errors)} harness errors, "
+            f"{len(self.shrunk)} shrunk"
+        )
+
+
+def _check_one(
+    case: Case,
+    cache: AutomatonCache,
+    config: FuzzConfig,
+    *,
+    metamorphic: bool,
+) -> List[Discrepancy]:
+    found = differential_check(case, reference=config.reference, cache=cache)
+    if metamorphic and case.workload != "certify":
+        found.extend(check_metamorphic(case, cache=cache))
+        found.extend(replay_roundtrip_check(case, cache=cache))
+    return found
+
+
+def _shrink_and_save(
+    case: Case,
+    found: List[Discrepancy],
+    cache: AutomatonCache,
+    config: FuzzConfig,
+    report: FuzzReport,
+) -> None:
+    def still_failing(candidate: Case) -> bool:
+        return bool(
+            differential_check(candidate, reference=config.reference,
+                               cache=cache)
+        )
+
+    small, checks = shrink_case(case, still_failing,
+                                max_checks=config.shrink_budget)
+    registry().counter(
+        "repro_fuzz_shrink_steps_total",
+        "Oracle invocations spent minimizing failing fuzz cases.",
+    ).inc(checks)
+    report.shrunk.append((case, small))
+    if config.corpus_dir:
+        final = differential_check(small, reference=config.reference,
+                                   cache=cache)
+        meta = {
+            "kinds": sorted({d.kind for d in (final or found)}),
+            "shrunk_from": case.case_id,
+            "original_note": case.note,
+        }
+        report.replay_files.append(
+            save_case(small, config.corpus_dir, meta=meta)
+        )
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    *,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run one fuzz campaign; see the module docstring for the phases."""
+    emit = log or (lambda _line: None)
+    cache = AutomatonCache(persist=False)
+    report = FuzzReport()
+    reg = registry()
+    cases_total = reg.counter(
+        "repro_fuzz_cases_total",
+        "Conformance cases run by the fuzz harness.", ("source",),
+    )
+    disc_total = reg.counter(
+        "repro_fuzz_discrepancies_total",
+        "Conformance discrepancies found by the fuzz harness.", ("kind",),
+    )
+
+    def record(case: Case, found: List[Discrepancy], source: str) -> None:
+        report.cases_run += 1
+        cases_total.inc(source=source)
+        for d in found:
+            disc_total.inc(kind=d.kind)
+            emit(f"FAIL {d.format()}")
+        report.discrepancies.extend(found)
+
+    # Phase 1: pinned corpus.
+    if config.corpus_dir:
+        for path, case, _meta in iter_corpus(config.corpus_dir):
+            try:
+                found = _check_one(case, cache, config, metamorphic=False)
+            except Exception as exc:  # harness bug, not a conformance gap
+                report.errors.append(f"{path}: {type(exc).__name__}: {exc}")
+                continue
+            report.replayed += 1
+            record(case, found, "corpus")
+
+    # Phase 2: fresh cases.
+    generator = CaseGenerator(config.seed, max_vertices=config.max_vertices)
+    for index in range(config.cases):
+        case = generator.case()
+        metamorphic = (
+            config.metamorphic_every > 0
+            and index % config.metamorphic_every == 0
+        )
+        try:
+            found = _check_one(case, cache, config, metamorphic=metamorphic)
+        except Exception as exc:
+            report.errors.append(
+                f"{case.note or case.case_id[:12]}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        record(case, found, "generated")
+        if found and len(report.shrunk) < config.max_shrinks:
+            emit(f"shrinking {case.describe()}")
+            _shrink_and_save(case, found, cache, config, report)
+
+    emit(report.summary())
+    return report

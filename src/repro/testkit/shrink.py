@@ -1,0 +1,146 @@
+"""Greedy minimizer for failing conformance cases.
+
+A fuzz hit on a 12-vertex graph with a 4-connective formula is evidence;
+a 3-vertex path with ``adj(x, y)`` is a bug report.  The shrinker
+repeatedly tries, in deterministic order,
+
+* dropping a vertex (keeping the graph connected and non-empty),
+* dropping an edge (keeping the graph connected),
+* simplifying the formula — deleting one conjunct/disjunct, unwrapping a
+  negation, or replacing a whole subtree with ``true``/``false`` — while
+  the result stays well-sorted for the case's scope and serializable,
+
+and accepts the first candidate on which ``failing`` still returns True,
+restarting until no candidate fails (a greedy local minimum).  The
+treedepth promise is recomputed from the shrunk graph, so the case stays
+honest.  ``failing`` is typically ``lambda c: bool(differential_check(c,
+reference=..., cache=...))`` — the same oracle that flagged the case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+from ..errors import FormulaError, ReproError
+from ..mso import syntax as sx
+from .cases import Case, formula_to_source
+
+__all__ = ["shrink_case", "graph_candidates", "formula_candidates"]
+
+
+def graph_candidates(case: Case) -> Iterator[Case]:
+    """Smaller graphs: one vertex or one edge fewer, still connected."""
+    graph = case.graph
+    for v in graph.vertices():
+        if graph.num_vertices() <= 1:
+            break
+        smaller = graph.without_vertices([v])
+        if smaller.num_vertices() >= 1 and smaller.is_connected():
+            yield case.with_graph(smaller)
+    for u, v in graph.edges():
+        smaller = graph.copy()
+        smaller.remove_edge(u, v)
+        if smaller.is_connected():
+            yield case.with_graph(smaller)
+
+
+def _subtree_count(formula: sx.Formula) -> int:
+    total = 1
+    for child in _children(formula):
+        total += _subtree_count(child)
+    return total
+
+
+def _children(formula: sx.Formula) -> Tuple[sx.Formula, ...]:
+    if isinstance(formula, sx.Not):
+        return (formula.inner,)
+    if isinstance(formula, (sx.And, sx.Or)):
+        return formula.parts
+    if isinstance(formula, (sx.Exists, sx.Forall)):
+        return (formula.body,)
+    return ()
+
+
+def _rebuild(formula: sx.Formula,
+             children: Tuple[sx.Formula, ...]) -> sx.Formula:
+    if isinstance(formula, sx.Not):
+        return sx.Not(children[0])
+    if isinstance(formula, sx.And):
+        return sx.And(children)
+    if isinstance(formula, sx.Or):
+        return sx.Or(children)
+    if isinstance(formula, sx.Exists):
+        return sx.Exists(formula.var, children[0])
+    if isinstance(formula, sx.Forall):
+        return sx.Forall(formula.var, children[0])
+    raise ReproError(f"{type(formula).__name__} has no children to rebuild")
+
+
+def _simplifications(formula: sx.Formula) -> Iterator[sx.Formula]:
+    """One-step simplifications of the root, then of each subtree."""
+    # Replace the whole tree by a constant (most aggressive first).
+    if not isinstance(formula, sx.Truth):
+        yield sx.Truth(True)
+        yield sx.Truth(False)
+    if isinstance(formula, sx.Not):
+        yield formula.inner
+    if isinstance(formula, (sx.And, sx.Or)) and len(formula.parts) > 1:
+        for i in range(len(formula.parts)):
+            rest = formula.parts[:i] + formula.parts[i + 1:]
+            yield rest[0] if len(rest) == 1 else _rebuild(formula, rest)
+    # Recurse: simplify one child, keep the rest.
+    children = _children(formula)
+    for i, child in enumerate(children):
+        for simpler in _simplifications(child):
+            parts = children[:i] + (simpler,) + children[i + 1:]
+            yield _rebuild(formula, parts)
+
+
+def formula_candidates(case: Case) -> Iterator[Case]:
+    """Well-formed, serializable one-step formula simplifications."""
+    for simpler in _simplifications(case.formula):
+        try:
+            sx.validate(simpler, allowed_free=case.scope)
+            formula_to_source(simpler)  # keep every shrink replayable
+        except (FormulaError, ReproError):
+            continue
+        yield case.with_formula(simpler)
+
+
+def _candidates(case: Case) -> Iterator[Case]:
+    yield from graph_candidates(case)
+    yield from formula_candidates(case)
+
+
+def shrink_case(
+    case: Case,
+    failing: Callable[[Case], bool],
+    *,
+    max_checks: int = 400,
+) -> Tuple[Case, int]:
+    """Greedily minimize ``case`` while ``failing`` stays True.
+
+    Returns ``(smallest case found, number of oracle invocations)``.
+    ``max_checks`` bounds the total oracle budget so a pathological
+    failure cannot stall the fuzz loop.
+    """
+    checks = 0
+    current = case
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            try:
+                still_failing = failing(candidate)
+            except Exception:
+                # A candidate that crashes the oracle is not a valid
+                # minimization step; skip it.
+                continue
+            if still_failing:
+                current = candidate
+                improved = True
+                break
+    return current, checks

@@ -1,0 +1,18 @@
+"""Shared pytest configuration.
+
+Hypothesis settings are centralized here: the ``ci`` profile disables
+per-example deadlines (automaton compilation on a cold cache routinely
+blows the default 200 ms on shared CI runners, and wall-clock flakiness
+is exactly what a conformance suite must not have) and keeps
+``derandomize=False`` so shrinking still explores.  Individual tests
+tune ``max_examples`` only; none should pass ``deadline=`` inline.
+"""
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a baked-in dev dep
+    settings = None
+
+if settings is not None:
+    settings.register_profile("ci", deadline=None, print_blob=True)
+    settings.load_profile("ci")

@@ -133,6 +133,43 @@ def test_save_warm_rewrites_only_grown_entries(tmp_path, network):
     assert cache.save_warm() == 0  # facade saved again; still clean
 
 
+def test_version_bump_still_answers_correctly(tmp_path, network):
+    # Invalidation must cost only a recompile, never a different verdict.
+    _, stale = _warmed_cache(tmp_path, network)
+    bumped_cache, fresh = _warmed_cache(tmp_path, network,
+                                        version=CACHE_VERSION + 1)
+    assert fresh.verdict == stale.verdict
+    assert bumped_cache.misses == 1
+    # Both generations coexist on disk under distinct keys.
+    assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+
+def test_repro_no_cache_disables_persistence(tmp_path, network, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    cache = AutomatonCache(tmp_path)
+    assert cache.persist is False
+    session = Session(network, d=3, cache=cache)
+    result = session.decide(formulas.triangle_free())
+    baseline = Session(network, d=3,
+                       cache=AutomatonCache(persist=False))
+    assert result.verdict == baseline.decide(formulas.triangle_free()).verdict
+    assert not list(tmp_path.glob("*.pkl"))  # computed, never touched disk
+    # In-memory memoization keeps working.
+    session.decide(formulas.triangle_free())
+    assert cache.hits >= 1
+
+
+def test_repro_no_cache_skips_stale_disk_entries(tmp_path, network,
+                                                 monkeypatch):
+    _warmed_cache(tmp_path, network)  # persisted by a normal cache
+    assert list(tmp_path.glob("*.pkl"))
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    isolated = AutomatonCache(tmp_path)
+    isolated.automaton(formulas.triangle_free(), d=3)
+    assert isolated.disk_loads == 0  # never read, even though files exist
+    assert isolated.misses == 1
+
+
 def test_cached_compile_uses_default_cache(tmp_path):
     previous = default_cache()
     try:

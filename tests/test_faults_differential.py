@@ -75,7 +75,7 @@ PROGRAMS = [gossip_min_program, tick_count_program]
     st.sampled_from(["arrival", "shuffle", "sorted", "reversed"]),
     st.integers(0, 10 ** 6),
 )
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_zero_rate_plan_is_byte_identical(net, prog_idx, order, sim_seed):
     graph, _ = net
     program = PROGRAMS[prog_idx]
@@ -99,7 +99,7 @@ def test_zero_rate_plan_is_byte_identical(net, prog_idx, order, sim_seed):
     st.integers(0, 10 ** 6),
     st.integers(4, 5),
 )
-@settings(max_examples=70, deadline=None)
+@settings(max_examples=70)
 def test_lossy_decide_agrees_or_fails_closed(net, idx, drop, fault_seed,
                                              attempts):
     graph, depth = net

@@ -113,7 +113,7 @@ def test_kernel_preservation_property_based():
     automaton = compile_formula(formula, ())
 
     @given(st.integers(0, 10 ** 6), st.integers(2, 4))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def run(seed, threshold):
         g = gen.random_bounded_treedepth(16, 3, seed=seed, edge_prob=0.4)
         forest = dfs_elimination_forest(g)

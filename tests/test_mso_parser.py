@@ -157,3 +157,28 @@ def test_parse_matches_catalog_semantics():
     parsed = parse("!(exists x:V, y:V, z:V . (adj(x,y) & adj(y,z) & adj(z,x)))")
     for g in [gen.clique(4), gen.cycle(4), gen.star(3)]:
         assert evaluate(g, parsed) == evaluate(g, formulas.triangle_free())
+
+
+def test_parse_contains_pattern():
+    from repro.mso import syntax as sx
+
+    claw = parse("contains(4, {0 1, 0 2, 0 3})")
+    assert claw == sx.ContainsPattern(
+        num_vertices=4, edges=frozenset({(0, 1), (0, 2), (0, 3)})
+    )
+    assert evaluate(gen.star(3), claw)
+    assert not evaluate(gen.path(3), claw)
+    # Induced mode and an empty edge set both parse.
+    induced = parse("contains(3, {0 1}, induced)")
+    assert induced.induced
+    empty = parse("contains(2, {})")
+    assert empty.edges == frozenset()
+
+
+def test_parse_contains_errors():
+    with pytest.raises(FormulaError):
+        parse("contains(2, {0 5})")  # edge outside 0..n-1
+    with pytest.raises(FormulaError):
+        parse("contains(2, {0 0})")  # self-loop
+    with pytest.raises(FormulaError):
+        parse("contains(3, {0 1}, sideways)")

@@ -81,6 +81,43 @@ def test_strict_sweep_raises_naming_the_shard():
     assert "ValueError: boom" in relaxed[1].error
 
 
+def test_shard_error_repr_names_its_shard():
+    # The error string alone (without the ShardResult around it) must
+    # identify the failing grid point, e.g. in merged sweep logs.
+    relaxed = run_sweep(failing_worker, [{"n": n} for n in (1, 2, 3)],
+                        seed=0, strict=False)
+    assert relaxed[1].error.startswith("shard 1: ")
+
+
+def test_worker_exception_surfaces_across_processes():
+    # A worker crash inside a multiprocessing pool must come back as a
+    # ShardResult error (relaxed) or a CongestError (strict), never as a
+    # half-dead pool or a lost shard.
+    grid = [{"n": n} for n in (1, 2, 3, 4)]
+    try:
+        relaxed = run_sweep(failing_worker, grid, seed=0, processes=2,
+                            strict=False)
+    except (ImportError, OSError) as exc:
+        pytest.skip(f"multiprocessing unavailable: {exc}")
+    assert [r.ok for r in relaxed] == [True, False, True, True]
+    assert "shard 1: ValueError: boom" in relaxed[1].error
+    with pytest.raises(CongestError, match="shard 1"):
+        run_sweep(failing_worker, grid, seed=0, processes=2)
+
+
+def test_more_processes_than_grid_points():
+    # processes > len(grid) must not deadlock or duplicate shards.
+    grid = [{"n": n} for n in (5, 7)]
+    try:
+        fanned = run_sweep(echo_worker, grid, seed=3, processes=6)
+    except (ImportError, OSError) as exc:
+        pytest.skip(f"multiprocessing unavailable: {exc}")
+    assert [r.shard.index for r in fanned] == [0, 1]
+    assert [r.value["n"] for r in fanned] == [5, 7]
+    serial = run_sweep(echo_worker, grid, seed=3, processes=0)
+    assert [r.value for r in fanned] == [r.value for r in serial]
+
+
 def test_merge_metrics_sums_counters_and_maxes_bits():
     results = run_sweep(metrics_worker, [{"n": n} for n in (2, 3, 4)], seed=0)
     merged = merge_metrics(results)

@@ -53,7 +53,7 @@ def graphs_with_order(draw):
 # ----------------------------------------------------------------------
 
 @given(graphs())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_components_partition_vertices(g):
     components = g.connected_components()
     seen = [v for comp in components for v in comp]
@@ -62,7 +62,7 @@ def test_components_partition_vertices(g):
 
 
 @given(graphs(), st.data())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_induced_subgraph_is_subgraph(g, data):
     keep = data.draw(st.sets(st.sampled_from(g.vertices())))
     sub = g.induced_subgraph(keep)
@@ -72,7 +72,7 @@ def test_induced_subgraph_is_subgraph(g, data):
 
 
 @given(graphs_with_order())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_any_order_yields_valid_elimination_forest(gw):
     g, order = gw
     forest = forest_from_order(g, order)
@@ -81,7 +81,7 @@ def test_any_order_yields_valid_elimination_forest(gw):
 
 
 @given(graphs(connected=True))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_treedepth_sandwich(g):
     td = treedepth(g)
     assert treedepth_lower_bound(g) <= td
@@ -91,7 +91,7 @@ def test_treedepth_sandwich(g):
 
 
 @given(graphs_with_order())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_canonical_decomposition_always_valid(gw):
     g, order = gw
     forest = forest_from_order(g, order)
@@ -120,7 +120,7 @@ payloads = st.recursive(
 
 
 @given(payloads)
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=80)
 def test_payload_bits_positive_and_deterministic(p):
     bits = payload_bits(p)
     assert bits > 0
@@ -195,7 +195,7 @@ def closed_formulas(draw):
 
 
 @given(closed_formulas(), graphs(max_vertices=4))
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=120)
 def test_engine_agrees_with_semantics_on_random_formulas(formula, g):
     if g.num_vertices() == 0:
         return
@@ -206,7 +206,7 @@ def test_engine_agrees_with_semantics_on_random_formulas(formula, g):
 
 
 @given(graphs(max_vertices=5, connected=True), st.permutations(list(range(5))))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_engine_forest_independence(g, perm):
     # The engine's verdict must be identical on *any* valid forest.
     from repro.mso import formulas as cat

@@ -35,7 +35,7 @@ DECISION_AUTOMATA = [compile_formula(f, ()) for f in DECISION_FORMULAS]
 
 
 @given(networks(), st.integers(0, len(DECISION_FORMULAS) - 1))
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_distributed_decision_equals_sequential(net, idx):
     g, depth = net
     formula = DECISION_FORMULAS[idx]
@@ -52,7 +52,7 @@ _OPT_AUTOMATON = compile_formula(_OPT_FORMULA, (_S,))
 
 
 @given(networks(), st.lists(st.integers(1, 9), min_size=12, max_size=12))
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 def test_distributed_optimization_equals_sequential(net, weights):
     g, depth = net
     for i, v in enumerate(g.vertices()):
@@ -73,7 +73,7 @@ _COUNT_AUTOMATON = compile_with_singletons(_COUNT_FORMULA, _COUNT_VARS)
 
 
 @given(networks())
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20)
 def test_distributed_counting_equals_sequential(net):
     g, depth = net
     sequential = seq_count(

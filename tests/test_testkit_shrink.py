@@ -1,0 +1,90 @@
+"""Tests for the greedy case minimizer."""
+
+from repro.graph import generators as gen
+from repro.mso import Sort, formulas
+from repro.mso import syntax as sx
+from repro.testkit import Case, shrink_case
+from repro.testkit.shrink import formula_candidates, graph_candidates
+
+
+def _case(**overrides):
+    defaults = dict(graph=gen.path(6), d=3, formula=formulas.acyclic(),
+                    workload="decide")
+    defaults.update(overrides)
+    return Case(**defaults)
+
+
+def test_graph_candidates_stay_connected_and_honest():
+    case = _case(graph=gen.grid(2, 3))
+    for candidate in graph_candidates(case):
+        assert candidate.graph.is_connected()
+        assert candidate.graph.num_vertices() >= 1
+        # The promise is recomputed, never inherited stale.
+        from repro.treedepth import best_heuristic_forest
+
+        assert best_heuristic_forest(candidate.graph).depth() <= candidate.d
+
+
+def test_formula_candidates_are_valid_and_serializable():
+    from repro.testkit import formula_to_source
+
+    x = sx.Var("x", Sort.VERTEX)
+    y = sx.Var("y", Sort.VERTEX)
+    phi = sx.Exists(x, sx.Exists(y, sx.And((
+        sx.Adj(x, y), sx.Not(sx.Eq(x, y)), sx.Truth(True),
+    ))))
+    case = _case(formula=phi)
+    candidates = list(formula_candidates(case))
+    assert candidates
+    for candidate in candidates:
+        sx.validate(candidate.formula, allowed_free=case.scope)
+        formula_to_source(candidate.formula)  # must not raise
+    # Dropping one conjunct from a 3-way And keeps a 2-way And; dropping
+    # from a 2-way And unwraps to the bare part (single-part And would
+    # not round-trip through the parser).
+    shapes = {type(c.formula).__name__ for c in candidates}
+    assert "Truth" in shapes  # whole-tree constant replacement
+
+
+def test_shrink_minimizes_a_size_predicate():
+    # A "failure" that depends only on having >= 3 vertices must shrink
+    # to exactly 3 vertices and the trivial formula.
+    case = _case(graph=gen.random_tree(9, seed=2))
+    small, checks = shrink_case(
+        case, lambda c: c.graph.num_vertices() >= 3
+    )
+    assert small.graph.num_vertices() == 3
+    assert checks > 0
+    assert small.formula == sx.Truth(True)  # most aggressive simplification
+
+
+def test_shrink_respects_the_budget():
+    case = _case(graph=gen.random_tree(12, seed=4))
+    _small, checks = shrink_case(
+        case, lambda c: c.graph.num_vertices() >= 2, max_checks=7
+    )
+    assert checks <= 7
+
+
+def test_shrink_keeps_the_failure_failing():
+    # Predicate: the graph still contains a triangle.
+    def has_triangle(c):
+        return any(
+            c.graph.has_edge(u, w)
+            for u in c.graph.vertices()
+            for v in c.graph.neighbors(u)
+            for w in c.graph.neighbors(v)
+            if u != w
+        )
+
+    case = _case(graph=gen.clique(5))
+    small, _checks = shrink_case(case, has_triangle)
+    assert has_triangle(small)
+    assert small.graph.num_vertices() == 3  # a bare triangle
+
+
+def test_shrunk_case_round_trips():
+    case = _case(graph=gen.star(5))
+    small, _ = shrink_case(case, lambda c: c.graph.num_vertices() >= 2)
+    back = Case.from_dict(small.to_dict())
+    assert back == small

@@ -83,7 +83,7 @@ def boolean_trees(draw, depth=0):
 
 
 @given(boolean_trees())
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=80)
 def test_simplify_and_nnf_preserve_semantics(body):
     formula = Exists(x, Exists(y, body))
     for g in [gen.path(3), gen.clique(3)]:
