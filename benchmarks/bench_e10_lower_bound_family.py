@@ -7,7 +7,7 @@ cannot extend to it (its treedepth is Θ(log n), unbounded).
 
 Series: the treedepth of the family grows with n (so no fixed d is a
 valid promise: Algorithm 2 with fixed d correctly *rejects* large members)
-while the generic baseline that does decide the predicate pays linearly
+while the generic baseline that does decide_pipeline the predicate pays linearly
 growing rounds.
 """
 
@@ -66,15 +66,15 @@ def test_e10_lower_bound_family(benchmark):
 def test_e10_small_members_still_decidable(benchmark):
     # On members whose treedepth fits the promise, Theorem 6.1 decides the
     # degree predicate exactly.
-    from repro.distributed import decide
+    from repro.distributed import decide_pipeline
 
     automaton = compile_formula(formulas.exists_vertex_of_degree_greater(2), ())
     g = gen.path_with_claw(6)  # treedepth 4
-    outcome = decide(automaton, g, d=4)
+    outcome = decide_pipeline(automaton, g, d=4)
     assert not outcome.treedepth_exceeded
     assert outcome.accepted
     path_only = gen.path(9)
-    outcome2 = decide(automaton, path_only, d=4)
+    outcome2 = decide_pipeline(automaton, path_only, d=4)
     assert not outcome2.accepted
     record_table(
         "E10",
@@ -85,4 +85,4 @@ def test_e10_small_members_still_decidable(benchmark):
             ("path(9)", outcome2.accepted, outcome2.total_rounds),
         ],
     )
-    benchmark(lambda: decide(automaton, g, d=4))
+    benchmark(lambda: decide_pipeline(automaton, g, d=4))

@@ -7,7 +7,7 @@ graph keeps growing.
 """
 
 from repro.algebra import compile_formula
-from repro.distributed import decide
+from repro.distributed import decide_pipeline
 from repro.graph import generators as gen
 from repro.mso import formulas
 from repro.obs import Tracer
@@ -31,7 +31,7 @@ def run_series():
             rounds = []
             for n in SIZES:
                 g = gen.random_bounded_treedepth(n, depth=d, seed=n)
-                outcome = decide(automaton, g, d=d)
+                outcome = decide_pipeline(automaton, g, d=d)
                 assert not outcome.treedepth_exceeded
                 rounds.append(outcome.total_rounds)
             rows.append((d, name) + tuple(rounds) + (
@@ -55,8 +55,8 @@ def test_e1_rounds_vs_n(benchmark):
     automaton = compile_formula(formulas.h_free(gen.triangle()), ())
     g = gen.random_bounded_treedepth(64, depth=3, seed=64)
     tracer = Tracer(events=False)
-    decide(automaton, g, d=3, tracer=tracer)
+    decide_pipeline(automaton, g, d=3, tracer=tracer)
     record_phase_table(
         "E1", "per-phase rounds/bits (triangle-free, n=64, d=3)", tracer
     )
-    benchmark(lambda: decide(automaton, g, d=3))
+    benchmark(lambda: decide_pipeline(automaton, g, d=3))

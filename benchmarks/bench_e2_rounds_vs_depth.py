@@ -8,7 +8,7 @@ analysis says.
 """
 
 from repro.algebra import compile_formula
-from repro.distributed import decide
+from repro.distributed import decide_pipeline
 from repro.graph import generators as gen
 from repro.mso import formulas
 
@@ -24,7 +24,7 @@ def run_series():
     for d in DEPTHS:
         n = 2 ** d - 1
         g = gen.path(n)  # td(P_{2^d - 1}) = d
-        outcome = decide(automaton, g, d=d)
+        outcome = decide_pipeline(automaton, g, d=d)
         assert not outcome.treedepth_exceeded and outcome.accepted
         growth = "" if previous is None else f"x{outcome.total_rounds / previous:.2f}"
         rows.append(
@@ -58,4 +58,4 @@ def test_e2_rounds_vs_depth(benchmark):
 
     automaton = compile_formula(formulas.acyclic(), ())
     g = gen.path(15)
-    benchmark(lambda: decide(automaton, g, d=4))
+    benchmark(lambda: decide_pipeline(automaton, g, d=4))

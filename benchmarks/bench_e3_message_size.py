@@ -9,7 +9,7 @@ experiment documents the actual headroom.
 
 from repro.algebra import compile_formula
 from repro.congest import default_budget
-from repro.distributed import decide, optimize_distributed
+from repro.distributed import decide_pipeline, optimize_pipeline
 from repro.graph import generators as gen
 from repro.mso import formulas, vertex_set
 from repro.obs import Tracer
@@ -27,8 +27,8 @@ def run_series():
     for n in SIZES:
         g = gen.random_bounded_treedepth(n, depth=3, seed=3 * n)
         budget = default_budget(n)
-        dec = decide(decision_automaton, g, d=3)
-        opt = optimize_distributed(opt_automaton, g, d=3, maximize=True)
+        dec = decide_pipeline(decision_automaton, g, d=3)
+        opt = optimize_pipeline(opt_automaton, g, d=3, maximize=True)
         rows.append(
             (n, budget, dec.max_message_bits, opt.max_message_bits)
         )
@@ -49,8 +49,8 @@ def test_e3_message_sizes(benchmark):
     automaton = compile_formula(formulas.independent_set(s), (s,))
     g = gen.random_bounded_treedepth(64, depth=3, seed=99)
     tracer = Tracer(events=False)
-    optimize_distributed(automaton, g, d=3, tracer=tracer)
+    optimize_pipeline(automaton, g, d=3, tracer=tracer)
     record_phase_table(
         "E3", "per-phase messages/bits (independent-set, n=64, d=3)", tracer
     )
-    benchmark(lambda: optimize_distributed(automaton, g, d=3))
+    benchmark(lambda: optimize_pipeline(automaton, g, d=3))

@@ -8,7 +8,7 @@ crossover on, by an ever-growing factor.
 """
 
 from repro.algebra import compile_formula
-from repro.distributed import decide, gather_decide
+from repro.distributed import decide_pipeline, gather_decide
 from repro.graph import generators as gen
 from repro.graph import properties as props
 from repro.mso import formulas
@@ -24,7 +24,7 @@ def run_series():
     rows = []
     for n in SIZES:
         g = gen.random_bounded_treedepth(n, depth=3, seed=7 * n, edge_prob=0.4)
-        ours = decide(automaton, g, d=3)
+        ours = decide_pipeline(automaton, g, d=3)
         base = gather_decide(g, oracle)
         assert ours.accepted == base.accepted
         winner = "treedepth" if ours.total_rounds < base.rounds else "baseline"

@@ -7,7 +7,7 @@ paper's "|𝒞| rounds per level").
 """
 
 from repro.algebra import compile_formula
-from repro.distributed import optimize_distributed
+from repro.distributed import optimize_pipeline
 from repro.graph import generators as gen
 from repro.graph import properties as props
 from repro.mso import formulas, vertex_set
@@ -33,7 +33,7 @@ def run_correctness():
             (gen.caterpillar(3, 2), "caterpillar"),
             (gen.random_bounded_treedepth(10, 3, seed=5), "random td<=3"),
         ]:
-            outcome = optimize_distributed(automaton, g, d=4, maximize=maximize)
+            outcome = optimize_pipeline(automaton, g, d=4, maximize=maximize)
             expected, _ = oracle(g)
             rows.append((name, label, outcome.value, expected,
                          "OK" if outcome.value == expected else "MISMATCH"))
@@ -46,7 +46,7 @@ def run_scaling():
     rows = []
     for n in (16, 32, 64):
         g = gen.random_bounded_treedepth(n, depth=3, seed=11 * n)
-        outcome = optimize_distributed(automaton, g, d=3, maximize=True)
+        outcome = optimize_pipeline(automaton, g, d=3, maximize=True)
         rows.append((n, outcome.total_rounds, outcome.optimization_rounds,
                      outcome.num_classes))
     return rows
@@ -65,7 +65,7 @@ def test_e5_optimization_exactness(benchmark):
     s = vertex_set("S")
     automaton = compile_formula(formulas.independent_set(s), (s,))
     g = gen.random_bounded_treedepth(24, depth=3, seed=21)
-    benchmark(lambda: optimize_distributed(automaton, g, d=3, maximize=True))
+    benchmark(lambda: optimize_pipeline(automaton, g, d=3, maximize=True))
 
 
 def test_e5_optimization_rounds(benchmark):
@@ -84,4 +84,4 @@ def test_e5_optimization_rounds(benchmark):
     s = vertex_set("S")
     automaton = compile_formula(formulas.dominating_set(s), (s,))
     g = gen.random_bounded_treedepth(24, depth=3, seed=33)
-    benchmark(lambda: optimize_distributed(automaton, g, d=3, maximize=False))
+    benchmark(lambda: optimize_pipeline(automaton, g, d=3, maximize=False))

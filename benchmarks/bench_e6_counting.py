@@ -7,7 +7,7 @@ magnitudes, not n, drive the streamed digits).
 """
 
 from repro.algebra import compile_with_singletons
-from repro.distributed import count_distributed
+from repro.distributed import count_pipeline
 from repro.graph import generators as gen
 from repro.graph import properties as props
 from repro.mso import formulas
@@ -25,7 +25,7 @@ def run_correctness():
         (gen.random_bounded_treedepth(12, 3, seed=2, edge_prob=0.7), "random"),
         (gen.cycle(8), "C8"),
     ]:
-        outcome = count_distributed(automaton, g, d=4)
+        outcome = count_pipeline(automaton, g, d=4)
         got = outcome.count // 6
         expected = props.count_triangles(g)
         rows.append((label, got, expected, "OK" if got == expected else "BAD"))
@@ -38,7 +38,7 @@ def run_scaling():
     rows = []
     for n in (16, 32, 64):
         g = gen.random_bounded_treedepth(n, depth=3, seed=n, edge_prob=0.5)
-        outcome = count_distributed(automaton, g, d=3)
+        outcome = count_pipeline(automaton, g, d=3)
         rows.append((n, outcome.count // 6, outcome.total_rounds))
     return rows
 
@@ -66,4 +66,4 @@ def test_e6_counting(benchmark):
     formula, variables = formulas.triangle_assignment()
     automaton = compile_with_singletons(formula, variables)
     g = gen.random_bounded_treedepth(24, depth=3, seed=77, edge_prob=0.5)
-    benchmark(lambda: count_distributed(automaton, g, d=3))
+    benchmark(lambda: count_pipeline(automaton, g, d=3))

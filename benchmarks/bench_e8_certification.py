@@ -10,7 +10,7 @@ import math
 
 from repro.algebra import compile_formula
 from repro.certification import prove, verify
-from repro.distributed import decide
+from repro.distributed import decide_pipeline
 from repro.graph import generators as gen
 from repro.mso import formulas
 
@@ -29,7 +29,7 @@ def run_series():
         audit = verify(g, automaton, instance)
         assert audit.accepted
         decision_automaton = compile_formula(formulas.acyclic(), ())
-        decision = decide(decision_automaton, g, d=4)
+        decision = decide_pipeline(decision_automaton, g, d=4)
         assert decision.accepted
         rows.append(
             (

@@ -38,6 +38,7 @@ from .engine import (
     optimize,
     run_states,
 )
+from .tables import TabulatedAutomaton, tabulated
 from .symbols import (
     BaseStructure,
     BaseSymbol,
@@ -59,7 +60,9 @@ __all__ = [
     "IncCountsAutomaton", "IntersectsAutomaton", "NonEmptyAutomaton",
     "OptimizationResult", "ProductAutomaton", "ProjectionAutomaton",
     "SingletonAutomaton", "State", "SubsetAutomaton", "SymbolChoice",
-    "TreeAutomaton", "base_structure", "check", "check_assignment",
+    "TabulatedAutomaton", "TreeAutomaton", "base_structure", "check",
+    "check_assignment",
     "compile_formula", "count", "enumerate_symbol_choices", "extend_symbol",
     "optimize", "owned_items", "run_states", "symbol_for_assignment",
+    "tabulated",
 ]

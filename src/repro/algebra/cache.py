@@ -43,7 +43,9 @@ from .automata import TreeAutomaton
 from .compiler import compile_formula, compile_with_singletons
 
 #: Bump to invalidate every on-disk entry after a format/semantics change.
-CACHE_VERSION = 1
+#: 2: entries may carry a pickled TabulatedAutomaton kernel (see
+#: :mod:`repro.algebra.tables`) riding on the automaton.
+CACHE_VERSION = 2
 
 __all__ = [
     "CACHE_VERSION",
@@ -211,7 +213,14 @@ def transition_table_bytes(automaton: TreeAutomaton) -> bytes:
 
 
 def _table_entries(automaton: TreeAutomaton) -> int:
-    """Total materialized table entries (a cheap warm-ness measure)."""
+    """Total materialized table entries (a cheap warm-ness measure).
+
+    Includes the dense integer tables of an attached
+    :class:`~repro.algebra.tables.TabulatedAutomaton` kernel (stored on
+    the automaton by :func:`~repro.algebra.tables.tabulated`), so
+    ``save_warm`` re-persists entries whose *kernel* warmed even when the
+    state-level caches did not grow.
+    """
     total = 0
     for component in _component_automata(automaton):
         total += (
@@ -220,6 +229,9 @@ def _table_entries(automaton: TreeAutomaton) -> int:
             + len(component._forget_cache)
             + len(component._intern)
         )
+        wrapper = getattr(component, "_tabulated_wrapper", None)
+        if wrapper is not None:
+            total += wrapper.table_entries()
     return total
 
 

@@ -1,0 +1,467 @@
+"""Dense integer transition tables: the ``vectorized`` automaton kernel.
+
+The compiled automata of :mod:`repro.algebra.automata` are interpreters
+over structured states — nested tuples and frozensets produced by the
+product / complement / subset constructions.  Every transition-cache hit
+re-hashes those structures, and the table-replay loops of the counting
+and optimization protocols perform |T₁|·|T₂| such lookups per merge.
+
+:class:`TabulatedAutomaton` removes the structured states from the hot
+path:
+
+* every state ever produced is **hash-consed** into a contiguous integer
+  id (``id_of`` / ``state_of``), one canonical object per value;
+* the glue / forget transition relations are compiled lazily into dense
+  per-boundary ``int64`` tables (numpy when available, plain dicts
+  otherwise) indexed by those ids — a miss falls through to the wrapped
+  automaton exactly once and is a flat array load forever after;
+* :meth:`glue_block` gathers a whole |T₁|×|T₂| merge block in one
+  vectorized fancy-index, and the table-level joins used by the counting
+  and optimization replays (:meth:`merge_counts`, :meth:`merge_opt`,
+  :meth:`fold_forget_counts`, :meth:`fold_decide`) are **memoized by
+  table digest**, so identical subtree joins — ubiquitous in elimination
+  forests with repeated shapes — cost one dictionary hit.
+
+The kernel is *observationally transparent*: every operation produces
+states value-equal to the wrapped automaton's, interning falls through to
+the wrapped automaton in the same first-production order, and the join
+helpers reproduce the exact iteration/insertion order of the state-level
+loops they replace.  That is what keeps ``engine="vectorized"``
+byte-identical to ``engine="batched"`` at the CONGEST layer — same
+messages, same class-id assignment, same rounds — with only the local
+compute changed (see ``docs/engines.md``).
+
+numpy is optional (the ``repro[fast]`` extra): when absent — or when a
+pickled kernel is loaded on a numpy-less host — every table degrades to a
+plain dict keyed by id tuples, with identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .automata import State, TreeAutomaton
+from .symbols import BaseSymbol
+
+try:  # gated dependency: the pure-python fallback must stay exercisable
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+__all__ = ["TabulatedAutomaton", "tabulated"]
+
+_MISSING = -1
+_MIN_CAPACITY = 64
+
+#: |T₁|·|T₂| below which the scalar loop beats a numpy gather.
+_BLOCK_THRESHOLD = 16
+
+
+def _capacity_for(n: int) -> int:
+    cap = _MIN_CAPACITY
+    while cap < n:
+        cap *= 2
+    return cap
+
+
+class TabulatedAutomaton(TreeAutomaton):
+    """A :class:`TreeAutomaton` wrapper evaluating over dense int tables.
+
+    Wraps (never copies) ``inner``: transitions the kernel has not seen
+    yet are computed by ``inner`` — warming its state-level caches and
+    interning exactly as a direct run would — and recorded in the id
+    tables.  The wrapper therefore *accelerates monotonically* and can be
+    pickled (arrays degrade to lists) and reloaded with its tables warm;
+    :class:`~repro.algebra.cache.AutomatonCache` persists it alongside
+    the wrapped automaton.
+    """
+
+    def __init__(self, inner: TreeAutomaton):
+        if isinstance(inner, TabulatedAutomaton):
+            raise ReproError("refusing to tabulate a TabulatedAutomaton")
+        super().__init__(inner.scope)
+        self._inner = inner
+        self._np = _np  # instance-held so tests can simulate absence
+        self._states: List[State] = []  # id -> canonical state object
+        self._ids: Dict[State, int] = {}  # value-equal state -> id
+        self._leaf_ids: Dict[BaseSymbol, int] = {}
+        self._glue_tables: Dict[int, Any] = {}  # boundary -> 2D id table
+        self._forget_tables: Dict[int, Any] = {}  # boundary -> 1D id table
+        self._accept_memo: Dict[int, bool] = {}
+        self._digests: Dict[Any, int] = {}  # table tuple -> small digest id
+        self._join_memo: Dict[Any, Any] = {}
+
+    # -- id management ---------------------------------------------------
+
+    def id_of(self, state: State) -> int:
+        """The contiguous id of ``state`` (hash-consed; registers new)."""
+        sid = self._ids.get(state)
+        if sid is None:
+            sid = len(self._states)
+            self._states.append(state)
+            self._ids[state] = sid
+        return sid
+
+    def state_of(self, sid: int) -> State:
+        """The canonical state object behind id ``sid``."""
+        return self._states[sid]
+
+    def num_ids(self) -> int:
+        return len(self._states)
+
+    # -- id-level kernel -------------------------------------------------
+
+    def leaf_id(self, symbol: BaseSymbol) -> int:
+        sid = self._leaf_ids.get(symbol)
+        if sid is None:
+            sid = self.id_of(self._inner.leaf(symbol))
+            self._leaf_ids[symbol] = sid
+        return sid
+
+    def _glue_table(self, boundary: int):
+        table = self._glue_tables.get(boundary)
+        if self._np is None:
+            if table is None:
+                table = self._glue_tables[boundary] = {}
+            return table
+        n = len(self._states)
+        if table is None or table.shape[0] < n:
+            cap = _capacity_for(n)
+            fresh = self._np.full((cap, cap), _MISSING, dtype=self._np.int64)
+            if table is not None:
+                fresh[: table.shape[0], : table.shape[1]] = table
+            table = self._glue_tables[boundary] = fresh
+        return table
+
+    def _forget_table(self, boundary: int):
+        table = self._forget_tables.get(boundary)
+        if self._np is None:
+            if table is None:
+                table = self._forget_tables[boundary] = {}
+            return table
+        n = len(self._states)
+        if table is None or table.shape[0] < n:
+            cap = _capacity_for(n)
+            fresh = self._np.full(cap, _MISSING, dtype=self._np.int64)
+            if table is not None:
+                fresh[: table.shape[0]] = table
+            table = self._forget_tables[boundary] = fresh
+        return table
+
+    def glue_id(self, boundary: int, i: int, j: int) -> int:
+        table = self._glue_table(boundary)
+        if self._np is None:
+            sid = table.get((i, j), _MISSING)
+        else:
+            sid = int(table[i, j]) if i < table.shape[0] and j < table.shape[1] else _MISSING
+        if sid == _MISSING:
+            state = self._inner.glue(boundary, self._states[i], self._states[j])
+            sid = self.id_of(state)
+            # id_of may have grown/replaced the array — re-fetch before writing.
+            table = self._glue_table(boundary)
+            if self._np is None:
+                table[(i, j)] = sid
+            else:
+                table[i, j] = sid
+        return sid
+
+    def forget_id(self, boundary: int, i: int) -> int:
+        table = self._forget_table(boundary)
+        if self._np is None:
+            sid = table.get(i, _MISSING)
+        else:
+            sid = int(table[i]) if i < table.shape[0] else _MISSING
+        if sid == _MISSING:
+            state = self._inner.forget(boundary, self._states[i])
+            sid = self.id_of(state)
+            table = self._forget_table(boundary)
+            if self._np is None:
+                table[i] = sid
+            else:
+                table[i] = sid
+        return sid
+
+    def accepts_id(self, sid: int) -> bool:
+        verdict = self._accept_memo.get(sid)
+        if verdict is None:
+            verdict = bool(self._inner.accepts(self._states[sid]))
+            self._accept_memo[sid] = verdict
+        return verdict
+
+    def glue_block(
+        self, boundary: int, ids1: Sequence[int], ids2: Sequence[int]
+    ) -> List[List[int]]:
+        """Row-major ids of ``glue(boundary, s_i, s_j)`` for every pair.
+
+        One fancy-index gather when numpy is available and the block is
+        big enough to amortize it; misses are filled scalar-wise (each
+        miss is a one-time inner-automaton computation).
+        """
+        np = self._np
+        if np is None or len(ids1) * len(ids2) < _BLOCK_THRESHOLD:
+            return [
+                [self.glue_id(boundary, i, j) for j in ids2] for i in ids1
+            ]
+        table = self._glue_table(boundary)
+        block = table[np.ix_(ids1, ids2)]
+        if (block == _MISSING).any():
+            rows = block.tolist()
+            for a, i in enumerate(ids1):
+                row = rows[a]
+                for b, j in enumerate(ids2):
+                    if row[b] == _MISSING:
+                        row[b] = self.glue_id(boundary, i, j)
+            return rows
+        return block.tolist()
+
+    # -- digest-memoized table joins --------------------------------------
+    #
+    # Each helper reproduces the exact production order of the state-level
+    # loop it replaces, so dict insertion order — and with it the order of
+    # first ClassCodec.encode calls downstream — is unchanged.  Memoized
+    # results were produced by that same loop, so a memo hit is
+    # indistinguishable from a recomputation.
+
+    def table_digest(self, pairs: Tuple[Tuple[int, Any], ...]) -> int:
+        """A small interned id naming one exact (state id, value) table."""
+        digest = self._digests.get(pairs)
+        if digest is None:
+            digest = len(self._digests)
+            self._digests[pairs] = digest
+        return digest
+
+    def merge_counts(
+        self,
+        boundary: int,
+        table: Tuple[Tuple[int, int], ...],
+        child: Tuple[Tuple[int, int], ...],
+    ) -> Tuple[Tuple[int, int], ...]:
+        """COUNT-table merge: ``merged[glue(s1,s2)] += c1*c2`` over ids."""
+        key = ("cnt", boundary, self.table_digest(table), self.table_digest(child))
+        hit = self._join_memo.get(key)
+        if hit is not None:
+            return hit
+        ids2 = [j for j, _ in child]
+        block = self.glue_block(boundary, [i for i, _ in table], ids2)
+        merged: Dict[int, int] = {}
+        get = merged.get
+        for a, (_, c1) in enumerate(table):
+            row = block[a]
+            for b, (_, c2) in enumerate(child):
+                s = row[b]
+                merged[s] = get(s, 0) + c1 * c2
+        out = tuple(merged.items())
+        self._join_memo[key] = out
+        return out
+
+    def fold_forget_counts(
+        self, boundary: int, table: Tuple[Tuple[int, int], ...]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """COUNT-table forget: ``forgotten[forget(s)] += c`` over ids."""
+        key = ("fcnt", boundary, self.table_digest(table))
+        hit = self._join_memo.get(key)
+        if hit is not None:
+            return hit
+        forgotten: Dict[int, int] = {}
+        get = forgotten.get
+        for s, c in table:
+            fs = self.forget_id(boundary, s)
+            forgotten[fs] = get(fs, 0) + c
+        out = tuple(forgotten.items())
+        self._join_memo[key] = out
+        return out
+
+    def merge_opt(
+        self,
+        boundary: int,
+        table: Tuple[Tuple[int, int], ...],
+        child: Tuple[Tuple[int, int], ...],
+        sign: int,
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, Tuple[int, int]], ...]]:
+        """OPT-table merge with back-pointers, first-strictly-better ties.
+
+        ``table`` / ``child`` must already be in the caller's iteration
+        order (the protocols sort by codec id, the sequential engine by
+        intern id) — the memo key is the exact ordered content, so the
+        tie-breaking winner is reproduced bit-for-bit.
+        """
+        key = ("opt", sign, boundary, self.table_digest(table), self.table_digest(child))
+        hit = self._join_memo.get(key)
+        if hit is not None:
+            return hit
+        ids2 = [j for j, _ in child]
+        block = self.glue_block(boundary, [i for i, _ in table], ids2)
+        merged: Dict[int, int] = {}
+        back: Dict[int, Tuple[int, int]] = {}
+        for a, (s1, w1) in enumerate(table):
+            row = block[a]
+            for b, (s2, w2) in enumerate(child):
+                s = row[b]
+                w = w1 + w2
+                incumbent = merged.get(s)
+                if incumbent is None or sign * w > sign * incumbent:
+                    merged[s] = w
+                    back[s] = (s1, s2)
+        out = (tuple(merged.items()), tuple(back.items()))
+        self._join_memo[key] = out
+        return out
+
+    def fold_forget_opt(
+        self, boundary: int, table: Tuple[Tuple[int, int], ...], sign: int
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]:
+        """OPT-table forget with back-pointers (same tie rule as merge)."""
+        key = ("fopt", sign, boundary, self.table_digest(table))
+        hit = self._join_memo.get(key)
+        if hit is not None:
+            return hit
+        forgotten: Dict[int, int] = {}
+        back: Dict[int, int] = {}
+        for s, w in table:
+            fs = self.forget_id(boundary, s)
+            incumbent = forgotten.get(fs)
+            if incumbent is None or sign * w > sign * incumbent:
+                forgotten[fs] = w
+                back[fs] = s
+        out = (tuple(forgotten.items()), tuple(back.items()))
+        self._join_memo[key] = out
+        return out
+
+    def fold_decide(
+        self, boundary: int, leaf: int, child_ids: Tuple[int, ...]
+    ) -> int:
+        """Forget(Glue-chain(leaf, children)): one decision node's replay."""
+        key = ("dec", boundary, leaf, child_ids)
+        hit = self._join_memo.get(key)
+        if hit is not None:
+            return hit
+        sid = leaf
+        for cid in child_ids:
+            sid = self.glue_id(boundary, sid, cid)
+        sid = self.forget_id(boundary, sid)
+        self._join_memo[key] = sid
+        return sid
+
+    # -- TreeAutomaton surface (state-level, value-identical) --------------
+
+    def leaf(self, symbol: BaseSymbol) -> State:
+        return self._states[self.leaf_id(symbol)]
+
+    def glue(self, boundary: int, s1: State, s2: State) -> State:
+        return self._states[
+            self.glue_id(boundary, self.id_of(s1), self.id_of(s2))
+        ]
+
+    def forget(self, boundary: int, s: State) -> State:
+        return self._states[self.forget_id(boundary, self.id_of(s))]
+
+    def intern(self, state: State) -> int:
+        return self._inner.intern(state)
+
+    def num_classes(self) -> int:
+        return self._inner.num_classes()
+
+    def accepts(self, state: State) -> bool:
+        return self.accepts_id(self.id_of(state))
+
+    def _leaf(self, symbol: BaseSymbol) -> State:
+        return self._inner.leaf(symbol)
+
+    def _glue(self, boundary: int, s1: State, s2: State) -> State:
+        return self._inner.glue(boundary, s1, s2)
+
+    def _forget(self, boundary: int, s: State) -> State:
+        return self._inner.forget(boundary, s)
+
+    # -- introspection / persistence ---------------------------------------
+
+    def table_entries(self) -> int:
+        """Materialized kernel entries (cache warm-ness measure)."""
+        total = len(self._leaf_ids) + len(self._states) + len(self._join_memo)
+        for table in self._glue_tables.values():
+            if self._np is None:
+                total += len(table)
+            else:
+                total += int((table != _MISSING).sum())
+        for table in self._forget_tables.values():
+            if self._np is None:
+                total += len(table)
+            else:
+                total += int((table != _MISSING).sum())
+        return total
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_np"] = None  # resolved again in __setstate__
+        if self._np is not None:
+            state["_glue_tables"] = {
+                k: ("array", v.tolist()) for k, v in self._glue_tables.items()
+            }
+            state["_forget_tables"] = {
+                k: ("array", v.tolist()) for k, v in self._forget_tables.items()
+            }
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._np = _np
+        glue = {}
+        for k, v in self._glue_tables.items():
+            if isinstance(v, tuple) and v and v[0] == "array":
+                rows = v[1]
+                if _np is not None:
+                    glue[k] = _np.array(rows, dtype=_np.int64)
+                else:  # degrade a persisted array to the dict backend
+                    glue[k] = {
+                        (i, j): sid
+                        for i, row in enumerate(rows)
+                        for j, sid in enumerate(row)
+                        if sid != _MISSING
+                    }
+            elif _np is not None and isinstance(v, dict):
+                # Persisted by a numpy-less process: upgrade to arrays.
+                top = max((max(i, j) for i, j in v), default=0) + 1
+                cap = _capacity_for(top)
+                fresh = _np.full((cap, cap), _MISSING, dtype=_np.int64)
+                for (i, j), sid in v.items():
+                    fresh[i, j] = sid
+                glue[k] = fresh
+            else:
+                glue[k] = v
+        self._glue_tables = glue
+        forget = {}
+        for k, v in self._forget_tables.items():
+            if isinstance(v, tuple) and v and v[0] == "array":
+                flat = v[1]
+                if _np is not None:
+                    forget[k] = _np.array(flat, dtype=_np.int64)
+                else:
+                    forget[k] = {
+                        i: sid for i, sid in enumerate(flat) if sid != _MISSING
+                    }
+            elif _np is not None and isinstance(v, dict):
+                top = max(v, default=0) + 1
+                cap = _capacity_for(top)
+                fresh = _np.full(cap, _MISSING, dtype=_np.int64)
+                for i, sid in v.items():
+                    fresh[i] = sid
+                forget[k] = fresh
+            else:
+                forget[k] = v
+        self._forget_tables = forget
+
+
+def tabulated(automaton: TreeAutomaton) -> TabulatedAutomaton:
+    """The (shared, idempotent) tabulated kernel for ``automaton``.
+
+    The wrapper is stored on the wrapped automaton, so repeated calls —
+    and cache reloads, which pickle the attribute along — keep
+    accumulating warmth in one kernel instead of re-deriving tables.
+    """
+    if isinstance(automaton, TabulatedAutomaton):
+        return automaton
+    wrapper = getattr(automaton, "_tabulated_wrapper", None)
+    if wrapper is None:
+        wrapper = TabulatedAutomaton(automaton)
+        automaton._tabulated_wrapper = wrapper
+    return wrapper

@@ -35,7 +35,6 @@ from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple, Union
 
 from .algebra.cache import AutomatonCache, default_cache
 from .certification import prove, verify
-from .congest import ENGINES, INBOX_ORDERS
 from .distributed.counting import count_pipeline
 from .distributed.model_checking import decide_pipeline
 from .distributed.optimization import optimize_pipeline
@@ -47,8 +46,9 @@ from .obs import Tracer
 from .obs.export import phase_table_rows
 from .obs.registry import collect_run
 from .obs.reports import RunReport, RunStore, build_report
+from .runconfig import RunConfig
 
-__all__ = ["Result", "Session"]
+__all__ = ["Result", "RunConfig", "Session"]
 
 #: Workload names as they appear in :attr:`Result.workload`.
 WORKLOADS = ("decide", "optimize", "count", "certify")
@@ -216,33 +216,41 @@ class Session:
         retry: Optional[Any] = None,
         trace: Union[Tracer, bool, None] = None,
         seed: Optional[int] = None,
-        inbox_order: str = "arrival",
+        inbox_order: Optional[str] = None,
         budget: Optional[int] = None,
-        engine: str = "batched",
+        engine: Optional[str] = None,
         cache: Optional[AutomatonCache] = None,
         record: Union[bool, str, None] = False,
+        config: Optional[RunConfig] = None,
     ):
-        if engine not in ENGINES:
-            raise ReproError(f"unknown engine {engine!r}; choose from {ENGINES}")
-        if inbox_order not in INBOX_ORDERS:
-            raise ReproError(
-                f"unknown inbox order {inbox_order!r}; "
-                f"choose from {INBOX_ORDERS}"
-            )
+        self.config = RunConfig.from_kwargs(
+            config,
+            faults=faults,
+            retry=retry,
+            trace=trace or None,
+            seed=seed,
+            inbox_order=inbox_order,
+            budget=budget,
+            engine=engine,
+            cache=cache,
+        )
         self.graph = graph
         self.d = d
-        self.faults = faults
-        self.retry = retry
-        self.seed = seed
-        self.inbox_order = inbox_order
-        self.budget = budget
-        self.engine = engine
-        self.cache = cache if cache is not None else default_cache()
+        self.faults = self.config.faults
+        self.retry = self.config.retry
+        self.seed = self.config.seed
+        self.inbox_order = self.config.inbox_order
+        self.budget = self.config.budget
+        self.engine = self.config.engine
+        self.cache = (
+            self.config.cache if self.config.cache is not None
+            else default_cache()
+        )
         self.record = record
-        if trace is True:
+        if self.config.trace is True:
             self.tracer: Optional[Tracer] = Tracer()
-        elif isinstance(trace, Tracer):
-            self.tracer = trace
+        elif isinstance(self.config.trace, Tracer):
+            self.tracer = self.config.trace
         else:
             self.tracer = None
 
@@ -251,28 +259,17 @@ class Session:
     @property
     def replay_args(self) -> Dict[str, Any]:
         """Session kwargs reproducing this session's executions exactly."""
-        return {
-            "seed": self.seed,
-            "inbox_order": self.inbox_order,
-            "faults": self.faults,
-            "retry": self.retry,
-            "budget": self.budget,
-            "engine": self.engine,
-        }
+        return self.config.replay_args()
 
     def _replay_json(self) -> Dict[str, Any]:
         """``replay_args`` reduced to JSON-native values for RunReports.
 
-        Inverse of :meth:`from_replay`: every value is a JSON scalar or
-        dict, so a stored report (or a ``repro fuzz`` replay file) can
-        reconstruct the session without evaluating reprs.
+        Delegates to :meth:`RunConfig.to_json` — the inverse of
+        :meth:`from_replay`: every value is a JSON scalar or dict, so a
+        stored report (or a ``repro fuzz`` replay file) can reconstruct
+        the session without evaluating reprs.
         """
-        replay = dict(self.replay_args)
-        if replay.get("faults") is not None:
-            replay["faults"] = replay["faults"].to_dict()
-        if replay.get("retry") is not None:
-            replay["retry"] = {"attempts": replay["retry"].attempts}
-        return replay
+        return self.config.to_json()
 
     @classmethod
     def from_replay(
@@ -281,33 +278,15 @@ class Session:
         """Rebuild a session from JSON-native replay arguments.
 
         Accepts both the live :attr:`replay_args` mapping (FaultPlan /
-        RetryPolicy instances pass through) and its :meth:`_replay_json`
-        encoding as stored in run reports and fuzz replay files, where
-        ``faults`` is a :meth:`~repro.faults.FaultPlan.to_dict` dict and
-        ``retry`` is ``{"attempts": n}``.  ``overrides`` win over the
-        replayed values (e.g. ``cache=...`` for an isolated rerun).
+        RetryPolicy instances pass through) and its
+        :meth:`RunConfig.to_json` encoding as stored in run reports and
+        fuzz replay files, where ``faults`` is a
+        :meth:`~repro.faults.FaultPlan.to_dict` dict and ``retry`` is
+        ``{"attempts": n}``.  ``overrides`` win over the replayed values
+        (e.g. ``cache=...`` for an isolated rerun).
         """
-        from .faults import FaultPlan, RetryPolicy
-
-        kwargs: Dict[str, Any] = dict(replay)
-        unknown = set(kwargs) - {
-            "seed", "inbox_order", "faults", "retry", "budget", "engine"
-        }
-        if unknown:
-            raise ReproError(
-                f"unknown replay argument(s): {sorted(unknown)}"
-            )
-        faults = kwargs.get("faults")
-        if isinstance(faults, Mapping):
-            kwargs["faults"] = FaultPlan.from_dict(dict(faults))
-        retry = kwargs.get("retry")
-        if isinstance(retry, Mapping):
-            try:
-                kwargs["retry"] = RetryPolicy(attempts=int(retry["attempts"]))
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ReproError(
-                    f"malformed retry encoding {retry!r}: {exc}"
-                ) from exc
+        cfg = RunConfig.from_json(replay)
+        kwargs: Dict[str, Any] = cfg.replay_args()
         kwargs.update(overrides)
         return cls(graph, d, **kwargs)
 
@@ -333,16 +312,11 @@ class Session:
             phi, scope, d=self.d, labels=self._labels(), singletons=singletons,
         )
 
-    def _run_kwargs(self) -> Dict[str, Any]:
-        return {
-            "budget": self.budget,
-            "tracer": self.tracer,
-            "inbox_order": self.inbox_order,
-            "seed": self.seed,
-            "faults": self.faults,
-            "retry": self.retry,
-            "engine": self.engine,
-        }
+    def _run_config(self, codec: Any = None) -> RunConfig:
+        """The pipeline-facing config: session knobs + resolved tracer."""
+        return self.config.with_overrides(
+            trace=self.tracer, codec=codec, cache=None
+        )
 
     # -- workloads -------------------------------------------------------
 
@@ -357,8 +331,8 @@ class Session:
         with self._observe("decide") as obs:
             automaton, codec = self._compiled(phi, ())
             out = decide_pipeline(
-                automaton, self.graph, self.d, codec=codec,
-                **self._run_kwargs(),
+                automaton, self.graph, self.d,
+                config=self._run_config(codec),
             )
             self.cache.save_warm()
             return obs.result(
@@ -414,7 +388,7 @@ class Session:
             automaton, codec = self._compiled(phi, scope)
             out = optimize_pipeline(
                 automaton, graph, self.d, maximize=(sense == "max"),
-                codec=codec, **self._run_kwargs(),
+                config=self._run_config(codec),
             )
             self.cache.save_warm()
             return obs.result(
@@ -444,8 +418,8 @@ class Session:
             automaton, codec = self._compiled(phi, scope,
                                               singletons=singletons)
             out = count_pipeline(
-                automaton, self.graph, self.d, codec=codec,
-                **self._run_kwargs(),
+                automaton, self.graph, self.d,
+                config=self._run_config(codec),
             )
             self.cache.save_warm()
             return obs.result(

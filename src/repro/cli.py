@@ -44,6 +44,7 @@ from .algebra import check as sequential_check
 from .algebra import count as sequential_count
 from .algebra import optimize as sequential_optimize
 from .api import Session
+from .runconfig import RunConfig
 from .errors import ReproError
 from .graph import Graph, generators
 from .graph.io import read_graph
@@ -159,8 +160,15 @@ def _resolve_formula(args: argparse.Namespace):
 
 def _session(graph: Graph, args: argparse.Namespace, **kwargs) -> Session:
     kwargs.setdefault("record", getattr(args, "record", False))
-    return Session(graph, args.d, engine=getattr(args, "engine", "batched"),
-                   **kwargs)
+    config_path = getattr(args, "config", None)
+    if config_path:
+        import json
+
+        with open(config_path) as handle:
+            config = RunConfig.from_json(json.load(handle))
+        return Session(graph, args.d, config=config, **kwargs)
+    engine = getattr(args, "engine", None)
+    return Session(graph, args.d, engine=engine or "batched", **kwargs)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -595,10 +603,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the distributed protocol instead of Algorithm 1")
         p.add_argument("--d", type=int, default=3,
                        help="treedepth promise for CONGEST runs (default 3)")
-        p.add_argument("--engine", choices=["batched", "naive"],
-                       default="batched",
-                       help="round scheduler for CONGEST runs (differentially "
-                       "identical; batched is the fast one)")
+        p.add_argument("--engine", choices=["batched", "naive", "vectorized"],
+                       default=None,
+                       help="execution engine for CONGEST runs "
+                       "(differentially identical; vectorized is the fast "
+                       "one — see docs/engines.md)")
+        p.add_argument("--config", metavar="FILE", default=None,
+                       help="JSON RunConfig replay file (seed/inbox_order/"
+                       "engine/faults/retry/budget); mutually exclusive "
+                       "with --engine")
         p.add_argument("--record", nargs="?", const=True, default=False,
                        metavar="DIR",
                        help="persist the RunReport to the run store "
@@ -695,9 +708,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(0 = no reliability layer)")
     p_faults.add_argument("--d", type=int, default=3,
                           help="treedepth promise (default 3)")
-    p_faults.add_argument("--engine", choices=["batched", "naive"],
+    p_faults.add_argument("--engine", choices=["batched", "naive", "vectorized"],
                           default="batched",
-                          help="round scheduler (differentially identical)")
+                          help="execution engine (differentially identical)")
     p_faults.add_argument("--seed", type=int, default=None,
                           help="inbox-order seed for the simulator")
     p_faults.add_argument("--catalog", default="triangle-free",

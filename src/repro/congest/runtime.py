@@ -32,6 +32,7 @@ from ..errors import (
     FaultToleranceExceeded,
     MessageTooLargeError,
     ProtocolError,
+    UnknownEngineError,
 )
 from ..graph import Graph, Vertex
 from ..obs import NULL_SPAN, Tracer, current_tracer
@@ -189,7 +190,7 @@ class SimulationResult:
 INBOX_ORDERS = ("arrival", "shuffle", "sorted", "reversed")
 
 #: Accepted round schedulers (see :class:`Simulation`).
-ENGINES = ("naive", "batched")
+ENGINES = ("naive", "batched", "vectorized")
 
 
 class Simulation:
@@ -253,9 +254,7 @@ class Simulation:
                 f"unknown inbox_order {inbox_order!r}; choose from {INBOX_ORDERS}"
             )
         if engine not in ENGINES:
-            raise CongestError(
-                f"unknown engine {engine!r}; choose from {ENGINES}"
-            )
+            raise UnknownEngineError(engine, ENGINES)
         self._graph = graph
         self._program = program
         self._inputs = inputs or {}
@@ -284,7 +283,10 @@ class Simulation:
         # (the REPRO_TRACE / ``repro trace`` path).  None = fully disabled.
         self.tracer = tracer if tracer is not None else current_tracer()
         self.engine = engine
-        self._batched = engine == "batched"
+        # "vectorized" changes only node-local automaton compute (see
+        # repro.algebra.tables); at the CONGEST layer it IS the batched
+        # scheduler, which is what keeps the two engines byte-identical.
+        self._batched = engine in ("batched", "vectorized")
         # Batched-engine kernels: payload-size memo (payloads are hashable
         # algebraic values), cached adjacency sets, and per-round message
         # accumulators flushed into the metrics arrays once per round.

@@ -1,7 +1,14 @@
-"""The paper's distributed protocols (Algorithm 2, Theorem 6.1, §6-7)."""
+"""The paper's distributed protocols (Algorithm 2, Theorem 6.1, §6-7).
+
+The deprecated PR-4 aliases (``decide``, ``optimize_distributed``,
+``count_distributed``) are no longer exported here; import them from
+their defining modules if you must, or better, migrate to
+:class:`repro.api.Session` / the ``*_pipeline`` functions (see
+``docs/api.md``).
+"""
 
 from .baselines import BaselineDecision, gather_decide
-from .counting import DistributedCount, count_distributed, count_pipeline
+from .counting import DistributedCount, count_pipeline
 from .decomposition import (
     DistributedDecompositionResult,
     grid_coloring_program,
@@ -18,14 +25,12 @@ from .marked import DistributedOptMarked, optmarked_distributed
 from .model_checking import (
     ClassCodec,
     DistributedDecision,
-    decide,
     decide_pipeline,
     node_inputs_from_elimination,
 )
 from .optimization import (
     DistributedOptimization,
     NodeSelection,
-    optimize_distributed,
     optimize_pipeline,
 )
 
@@ -44,15 +49,12 @@ __all__ = [
     "HFreenessResult",
     "NodeSelection",
     "build_elimination_tree",
-    "count_distributed",
     "count_pipeline",
-    "decide",
     "decide_h_freeness",
     "decide_pipeline",
     "elimination_tree_program",
     "gather_decide",
     "node_inputs_from_elimination",
-    "optimize_distributed",
     "optimize_pipeline",
     "optmarked_distributed",
 ]

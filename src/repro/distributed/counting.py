@@ -16,12 +16,22 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import enumerate_symbol_choices
+from ..algebra.tables import TabulatedAutomaton
 from ..congest import Inbox, ItemCollector, NodeContext, node_program, run_protocol
 from ..errors import FaultToleranceExceeded, ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
-from ..obs import Tracer, current_tracer, maybe_phase
+from ..obs import Tracer, maybe_phase
+from ..runconfig import RunConfig
 from .elimination import build_elimination_tree
-from .model_checking import ClassCodec, local_base_symbol, node_inputs_from_elimination
+from .model_checking import (
+    PIPELINE_DEFAULTS,
+    ClassCodec,
+    _IdCodec,
+    engine_automaton,
+    local_base_symbol,
+    node_inputs_from_elimination,
+    resolve_tracer,
+)
 
 _CHUNK_BITS = 8
 
@@ -44,7 +54,17 @@ def _digits_to_count(digits: List[int]) -> int:
 
 
 def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
-    """Node program factory for the counting convergecast."""
+    """Node program factory for the counting convergecast.
+
+    With a :class:`TabulatedAutomaton` (``engine="vectorized"``) the
+    COUNT tables are kept as integer-id pairs and merged through the
+    kernel's digest-memoized :meth:`~TabulatedAutomaton.merge_counts` /
+    :meth:`~TabulatedAutomaton.fold_forget_counts` joins — identical
+    subtree merges collapse to one dictionary hit.  Counts stay Python
+    big-ints throughout; only state identity is vectorized.
+    """
+    tab = automaton if isinstance(automaton, TabulatedAutomaton) else None
+    ids = _IdCodec(tab, codec) if tab is not None else None
 
     @node_program
     def program(ctx: NodeContext) -> Generator[None, Inbox, Optional[int]]:
@@ -59,11 +79,18 @@ def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
             (pos, canonical_edge(bag[pos - 1], ctx.node)) for pos in positions
         ]
         table: Dict[Any, int] = {}
-        for choice in enumerate_symbol_choices(
-            base.structure, automaton.scope, ctx.node, owned_edges
-        ):
-            state = automaton.leaf(choice.symbol)
-            table[state] = table.get(state, 0) + 1
+        if tab is not None:
+            for choice in enumerate_symbol_choices(
+                base.structure, automaton.scope, ctx.node, owned_edges
+            ):
+                sid = tab.leaf_id(choice.symbol)
+                table[sid] = table.get(sid, 0) + 1
+        else:
+            for choice in enumerate_symbol_choices(
+                base.structure, automaton.scope, ctx.node, owned_edges
+            ):
+                state = automaton.leaf(choice.symbol)
+                table[state] = table.get(state, 0) + 1
 
         with ctx.phase("count-streaming"):
             collector = ItemCollector("cnt", children)
@@ -79,7 +106,10 @@ def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
                 digit_index = 0
                 for kind, value in collector.items_from(child):
                     if kind == 0:
-                        current_state = codec.decode(value)
+                        current_state = (
+                            ids.decode(value) if tab is not None
+                            else codec.decode(value)
+                        )
                         digit_index = 0
                     else:
                         if current_state is None:
@@ -88,20 +118,35 @@ def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
                             current_state, 0
                         ) | (value << (_CHUNK_BITS * digit_index))
                         digit_index += 1
-                merged: Dict[Any, int] = {}
-                for s1, c1 in table.items():
-                    for s2, c2 in child_table.items():
-                        s = automaton.glue(depth, s1, s2)
-                        merged[s] = merged.get(s, 0) + c1 * c2
-                table = merged
-            forgotten: Dict[Any, int] = {}
-            for s, c in table.items():
-                fs = automaton.forget(depth, s)
-                forgotten[fs] = forgotten.get(fs, 0) + c
+                if tab is not None:
+                    table = dict(
+                        tab.merge_counts(
+                            depth,
+                            tuple(table.items()),
+                            tuple(child_table.items()),
+                        )
+                    )
+                else:
+                    merged: Dict[Any, int] = {}
+                    for s1, c1 in table.items():
+                        for s2, c2 in child_table.items():
+                            s = automaton.glue(depth, s1, s2)
+                            merged[s] = merged.get(s, 0) + c1 * c2
+                    table = merged
+            if tab is not None:
+                forgotten: Dict[Any, int] = dict(
+                    tab.fold_forget_counts(depth, tuple(table.items()))
+                )
+            else:
+                forgotten = {}
+                for s, c in table.items():
+                    fs = automaton.forget(depth, s)
+                    forgotten[fs] = forgotten.get(fs, 0) + c
 
             if parent is not None:
-                for s in sorted(forgotten, key=codec.encode):
-                    ctx.send(parent, ("cnt", (0, codec.encode(s))))
+                encode = ids.encode if tab is not None else codec.encode
+                for s in sorted(forgotten, key=encode):
+                    ctx.send(parent, ("cnt", (0, encode(s))))
                     yield
                     for digit in _count_to_digits(forgotten[s]):
                         ctx.send(parent, ("cnt", (1, digit)))
@@ -109,6 +154,8 @@ def counting_program(automaton: TreeAutomaton, codec: ClassCodec):
                 # Parent still yields awaiting cnt/end, so this delivers.
                 ctx.send(parent, ("cnt/end", None))  # repro: noqa[RL003]
                 return None
+        if tab is not None:
+            return sum(c for s, c in forgotten.items() if tab.accepts_id(s))
         return sum(c for s, c in forgotten.items() if automaton.accepts(s))
 
     return program
@@ -134,27 +181,41 @@ def count_pipeline(
     d: int,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
-    inbox_order: str = "arrival",
+    inbox_order: Optional[str] = None,
     seed: Optional[int] = None,
     faults=None,
     retry=None,
-    engine: str = "naive",
+    engine: Optional[str] = None,
     codec: Optional[ClassCodec] = None,
+    config: Optional[RunConfig] = None,
 ) -> DistributedCount:
     """Run Algorithm 2 followed by the counting convergecast.
 
     ``inbox_order`` / ``seed`` / ``faults`` / ``retry`` / ``engine`` have
     the same semantics as in :func:`.model_checking.decide_pipeline`; any
     crash raises :class:`~repro.errors.FaultToleranceExceeded` — a count
-    over a partial network is not the count.
+    over a partial network is not the count.  All knobs may instead come
+    as one ``config=`` :class:`~repro.runconfig.RunConfig`.
     """
     if not automaton.scope:
         raise ProtocolError("counting needs at least one free variable")
-    tracer = tracer if tracer is not None else current_tracer()
-    elim = build_elimination_tree(
-        graph, d, budget=budget, tracer=tracer,
-        inbox_order=inbox_order, seed=seed, faults=faults, retry=retry,
+    cfg = RunConfig.from_kwargs(
+        config,
+        defaults=PIPELINE_DEFAULTS,
+        budget=budget,
+        trace=tracer,
+        inbox_order=inbox_order,
+        seed=seed,
+        faults=faults,
+        retry=retry,
         engine=engine,
+        codec=codec,
+    )
+    tracer = resolve_tracer(cfg.trace)
+    elim = build_elimination_tree(
+        graph, d, budget=cfg.budget, tracer=tracer,
+        inbox_order=cfg.inbox_order, seed=cfg.seed, faults=cfg.faults,
+        retry=cfg.retry, engine=cfg.engine,
     )
     if elim.crashed:
         raise FaultToleranceExceeded(
@@ -174,20 +235,19 @@ def count_pipeline(
             total_messages=elim.total_messages,
         )
     inputs = node_inputs_from_elimination(graph, elim)
-    if codec is None:
-        codec = ClassCodec(automaton)
-    program = counting_program(automaton, codec)
-    run_budget = budget
+    codec = cfg.codec if cfg.codec is not None else ClassCodec(automaton)
+    program = counting_program(engine_automaton(automaton, cfg.engine), codec)
+    run_budget = cfg.budget
     max_rounds = 500_000
-    if retry is not None:
+    if cfg.retry is not None:
         from ..congest import default_budget
         from ..faults import reliable_program
 
-        program = reliable_program(program, retry)
+        program = reliable_program(program, cfg.retry)
         if run_budget is None:
             run_budget = default_budget(graph.num_vertices())
-        run_budget = retry.physical_budget(run_budget)
-        max_rounds = retry.physical_max_rounds(max_rounds)
+        run_budget = cfg.retry.physical_budget(run_budget)
+        max_rounds = cfg.retry.physical_max_rounds(max_rounds)
     with maybe_phase(tracer, "counting"):
         result = run_protocol(
             graph,
@@ -196,10 +256,10 @@ def count_pipeline(
             budget=run_budget,
             max_rounds=max_rounds,
             tracer=tracer,
-            inbox_order=inbox_order,
-            seed=seed,
-            faults=faults,
-            engine=engine,
+            inbox_order=cfg.inbox_order,
+            seed=cfg.seed,
+            faults=cfg.faults,
+            engine=cfg.engine,
         )
     if result.crashed:
         raise FaultToleranceExceeded(

@@ -214,11 +214,12 @@ def build_elimination_tree(
     d: int,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
-    inbox_order: str = "arrival",
+    inbox_order: Optional[str] = None,
     seed: Optional[int] = None,
     faults=None,
     retry=None,
-    engine: str = "naive",
+    engine: Optional[str] = None,
+    config=None,
 ) -> DistributedEliminationResult:
     """Run Algorithm 2 on ``graph`` with treedepth bound ``d``.
 
@@ -236,22 +237,39 @@ def build_elimination_tree(
     protocol either yields a decomposition that *validates* against the
     surviving induced subgraph, or raises
     :class:`~repro.errors.FaultToleranceExceeded`.
+
+    All execution knobs may instead arrive as one ``config=``
+    :class:`~repro.runconfig.RunConfig` (mutually exclusive with the
+    individual keywords).
     """
+    from ..runconfig import RunConfig, resolve_tracer
+
     if not graph.is_connected():
         raise ProtocolError("CONGEST requires a connected network")
-    tracer = tracer if tracer is not None else current_tracer()
+    cfg = RunConfig.from_kwargs(
+        config,
+        defaults={"engine": "naive"},
+        budget=budget,
+        trace=tracer,
+        inbox_order=inbox_order,
+        seed=seed,
+        faults=faults,
+        retry=retry,
+        engine=engine,
+    )
+    tracer = resolve_tracer(cfg.trace)
     inputs = {v: {"d": d} for v in graph.vertices()}
     program = elimination_tree_program
-    run_budget = budget if budget is not None else default_budget(
+    run_budget = cfg.budget if cfg.budget is not None else default_budget(
         graph.num_vertices()
     )
     max_rounds = _elimination_max_rounds(graph, d)
-    if retry is not None:
+    if cfg.retry is not None:
         from ..faults import reliable_program
 
-        program = reliable_program(elimination_tree_program, retry)
-        run_budget = retry.physical_budget(run_budget)
-        max_rounds = retry.physical_max_rounds(max_rounds)
+        program = reliable_program(elimination_tree_program, cfg.retry)
+        run_budget = cfg.retry.physical_budget(run_budget)
+        max_rounds = cfg.retry.physical_max_rounds(max_rounds)
     with maybe_phase(tracer, "elimination"):
         result = run_protocol(
             graph,
@@ -260,10 +278,10 @@ def build_elimination_tree(
             budget=run_budget,
             max_rounds=max_rounds,
             tracer=tracer,
-            inbox_order=inbox_order,
-            seed=seed,
-            faults=faults,
-            engine=engine,
+            inbox_order=cfg.inbox_order,
+            seed=cfg.seed,
+            faults=cfg.faults,
+            engine=cfg.engine,
         )
     outputs: Dict[Vertex, EliminationOutput] = result.outputs
     accepted = all(out.status == "ok" for out in outputs.values())

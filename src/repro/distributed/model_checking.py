@@ -28,12 +28,60 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..algebra import TreeAutomaton
 from ..algebra.symbols import BaseStructure, BaseSymbol
+from ..algebra.tables import TabulatedAutomaton, tabulated
 from ..congest import Inbox, NodeContext, default_budget, node_program, run_protocol
 from ..errors import FaultToleranceExceeded, ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
-from ..obs import Tracer, current_tracer, maybe_phase
+from ..obs import Tracer, maybe_phase
+from ..runconfig import RunConfig, resolve_tracer
 from .elimination import DistributedEliminationResult, build_elimination_tree
+
+#: Pipelines historically default to the cold reference scheduler.
+PIPELINE_DEFAULTS = {"engine": "naive"}
+
+
+def engine_automaton(automaton: TreeAutomaton, engine: str) -> TreeAutomaton:
+    """The automaton a node program should evaluate under ``engine``.
+
+    ``vectorized`` swaps in the shared :class:`TabulatedAutomaton` kernel
+    for the same automaton — value-identical transitions, so the CONGEST
+    layer cannot tell the difference; the other engines run the compiled
+    automaton as-is.
+    """
+    if engine == "vectorized":
+        return tabulated(automaton)
+    return automaton
+
+
+class _IdCodec:
+    """Per-program bridge between kernel state ids and codec class ids.
+
+    Memoizes both directions so the hot loops never re-hash structured
+    states; ``encode`` still reaches :meth:`ClassCodec.encode` on each
+    id's *first* use, preserving the first-encounter class-id assignment
+    order of the state-level code paths.
+    """
+
+    def __init__(self, automaton: TabulatedAutomaton, codec: "ClassCodec"):
+        self._automaton = automaton
+        self._codec = codec
+        self._classes: Dict[int, int] = {}
+        self._ids: Dict[int, int] = {}
+
+    def encode(self, sid: int) -> int:
+        class_id = self._classes.get(sid)
+        if class_id is None:
+            class_id = self._codec.encode(self._automaton.state_of(sid))
+            self._classes[sid] = class_id
+        return class_id
+
+    def decode(self, class_id: int) -> int:
+        sid = self._ids.get(class_id)
+        if sid is None:
+            sid = self._automaton.id_of(self._codec.decode(class_id))
+            self._ids[class_id] = sid
+        return sid
 
 
 class ClassCodec:
@@ -86,7 +134,15 @@ def local_base_symbol(ctx: NodeContext, scope: Tuple[sx.Var, ...]) -> BaseSymbol
 
 
 def decision_program(automaton: TreeAutomaton, codec: ClassCodec):
-    """Node program factory for the bottom-up decision convergecast."""
+    """Node program factory for the bottom-up decision convergecast.
+
+    When handed a :class:`TabulatedAutomaton` (``engine="vectorized"``),
+    the per-node Forget(Glue-chain(·)) replay runs over integer state ids
+    with whole-node join memoization; the messages carry the same codec
+    class ids either way.
+    """
+    tab = automaton if isinstance(automaton, TabulatedAutomaton) else None
+    ids = _IdCodec(tab, codec) if tab is not None else None
 
     @node_program(rounds="20 + 6*2**d + 2*n")
     def program(ctx: NodeContext) -> Generator[None, Inbox, bool]:
@@ -95,7 +151,10 @@ def decision_program(automaton: TreeAutomaton, codec: ClassCodec):
         parent: Optional[Vertex] = ctx.input["parent"]
 
         symbol = local_base_symbol(ctx, automaton.scope)
-        state = automaton.leaf(symbol)
+        if tab is not None:
+            sid = tab.leaf_id(symbol)
+        else:
+            state = automaton.leaf(symbol)
         pending = set(children)
         child_states: Dict[Vertex, Any] = {}
         # Bottom-up phase: wait for every child's class.
@@ -109,17 +168,31 @@ def decision_program(automaton: TreeAutomaton, codec: ClassCodec):
                         and payload
                         and payload[0] == "class"
                     ):
-                        child_states[sender] = codec.decode(payload[1])
+                        child_states[sender] = (
+                            ids.decode(payload[1])
+                            if tab is not None
+                            else codec.decode(payload[1])
+                        )
                         pending.discard(sender)
-            for child in children:
-                state = automaton.glue(depth, state, child_states[child])
-            state = automaton.forget(depth, state)
-            if parent is not None:
-                ctx.send(parent, ("class", codec.encode(state)))
+            if tab is not None:
+                sid = tab.fold_decide(
+                    depth, sid, tuple(child_states[c] for c in children)
+                )
+                if parent is not None:
+                    ctx.send(parent, ("class", ids.encode(sid)))
+            else:
+                for child in children:
+                    state = automaton.glue(depth, state, child_states[child])
+                state = automaton.forget(depth, state)
+                if parent is not None:
+                    ctx.send(parent, ("class", codec.encode(state)))
         # Top-down verdict flood.
         with ctx.phase("verdict-flood"):
             if parent is None:
-                verdict = automaton.accepts(state)
+                verdict = (
+                    tab.accepts_id(sid) if tab is not None
+                    else automaton.accepts(state)
+                )
                 for child in children:
                     # Children still yield awaiting the verdict flood.
                     ctx.send(child, ("verdict", verdict))  # repro: noqa[RL003]
@@ -211,12 +284,13 @@ def decide_pipeline(
     assignment: Optional[Dict[sx.Var, Any]] = None,
     budget: Optional[int] = None,
     tracer: Optional[Tracer] = None,
-    inbox_order: str = "arrival",
+    inbox_order: Optional[str] = None,
     seed: Optional[int] = None,
     faults=None,
     retry=None,
-    engine: str = "naive",
+    engine: Optional[str] = None,
     codec: Optional[ClassCodec] = None,
+    config: Optional[RunConfig] = None,
 ) -> DistributedDecision:
     """Run the full pipeline: Algorithm 2, then the decision convergecast.
 
@@ -235,12 +309,28 @@ def decide_pipeline(
     be computed on a partial network, and with bounded transient loss plus
     ``retry`` the returned verdict equals the faultless one or the run
     fails closed.
+
+    All execution knobs may instead be supplied as one validated
+    ``config=`` :class:`~repro.runconfig.RunConfig` (mutually exclusive
+    with the individual keywords).
     """
-    tracer = tracer if tracer is not None else current_tracer()
-    elim = build_elimination_tree(
-        graph, d, budget=budget, tracer=tracer,
-        inbox_order=inbox_order, seed=seed, faults=faults, retry=retry,
+    cfg = RunConfig.from_kwargs(
+        config,
+        defaults=PIPELINE_DEFAULTS,
+        budget=budget,
+        trace=tracer,
+        inbox_order=inbox_order,
+        seed=seed,
+        faults=faults,
+        retry=retry,
         engine=engine,
+        codec=codec,
+    )
+    tracer = resolve_tracer(cfg.trace)
+    elim = build_elimination_tree(
+        graph, d, budget=cfg.budget, tracer=tracer,
+        inbox_order=cfg.inbox_order, seed=cfg.seed, faults=cfg.faults,
+        retry=cfg.retry, engine=cfg.engine,
     )
     if elim.crashed:
         raise FaultToleranceExceeded(
@@ -261,19 +351,20 @@ def decide_pipeline(
         )
     scope = formula_automaton.scope
     inputs = node_inputs_from_elimination(graph, elim, assignment, scope)
-    if codec is None:
-        codec = ClassCodec(formula_automaton)
-    program = decision_program(formula_automaton, codec)
-    run_budget = budget if budget is not None else default_budget(
+    codec = cfg.codec if cfg.codec is not None else ClassCodec(formula_automaton)
+    program = decision_program(
+        engine_automaton(formula_automaton, cfg.engine), codec
+    )
+    run_budget = cfg.budget if cfg.budget is not None else default_budget(
         graph.num_vertices()
     )
     max_rounds = 20 + 6 * (2 ** d) + 2 * graph.num_vertices()
-    if retry is not None:
+    if cfg.retry is not None:
         from ..faults import reliable_program
 
-        program = reliable_program(program, retry)
-        run_budget = retry.physical_budget(run_budget)
-        max_rounds = retry.physical_max_rounds(max_rounds)
+        program = reliable_program(program, cfg.retry)
+        run_budget = cfg.retry.physical_budget(run_budget)
+        max_rounds = cfg.retry.physical_max_rounds(max_rounds)
     with maybe_phase(tracer, "decision"):
         result = run_protocol(
             graph,
@@ -282,10 +373,10 @@ def decide_pipeline(
             budget=run_budget,
             max_rounds=max_rounds,
             tracer=tracer,
-            inbox_order=inbox_order,
-            seed=seed,
-            faults=faults,
-            engine=engine,
+            inbox_order=cfg.inbox_order,
+            seed=cfg.seed,
+            faults=cfg.faults,
+            engine=cfg.engine,
         )
     if result.crashed:
         raise FaultToleranceExceeded(

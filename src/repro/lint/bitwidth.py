@@ -180,7 +180,8 @@ def parse_budget_family(text: Optional[str]) -> str:
 class AV:
     """A width plus (for containers) the width of an extracted element."""
 
-    __slots__ = ("width", "content", "const_value", "value_le_d")
+    __slots__ = ("width", "content", "const_value", "value_le_d",
+                 "call_result")
 
     def __init__(
         self,
@@ -188,11 +189,16 @@ class AV:
         content: Optional["AV"] = None,
         const_value: Optional[int] = None,
         value_le_d: bool = False,
+        call_result: Optional["AV"] = None,
     ) -> None:
         self.width = width
         self.content = content
         self.const_value = const_value
         self.value_le_d = value_le_d
+        # For names bound to a known-width bound method (``enc =
+        # codec.encode``): the abstract value a call through the name
+        # returns.
+        self.call_result = call_result
 
     def elem(self) -> "AV":
         """The abstract value of one extracted element / component.
@@ -217,11 +223,15 @@ class AV:
             and self.const_value == other.const_value
             else None
         )
+        call_result: Optional[AV] = None
+        if self.call_result is not None and other.call_result is not None:
+            call_result = self.call_result.join(other.call_result)
         return AV(
             self.width.join(other.width),
             content=content,
             const_value=const_value,
             value_le_d=self.value_le_d and other.value_le_d,
+            call_result=call_result,
         )
 
 
@@ -258,6 +268,24 @@ _ATTR_CALL_RESULTS = {
     # serializable form is its O(log n) class id (ClassCodec roundtrip).
     "decode": AV_LOGN,
     "accepts": AV_BOOL,
+    # The TabulatedAutomaton kernel's integer state ids: contiguous
+    # intern indices, so id-valued results carry the same O(log n)
+    # bound as ClassCodec ids.
+    "accepts_id": AV_BOOL,
+    "leaf_id": AV_LOGN,
+    "id_of": AV_LOGN,
+    "glue_id": AV_LOGN,
+    "forget_id": AV_LOGN,
+    "fold_decide": AV_LOGN,
+    # The kernel's OPT joins return sequences of (state id, weight)
+    # pairs — both components class-id / weight-sum sized.  The COUNT
+    # joins are deliberately NOT mapped: their counts can exceed any
+    # per-message budget and must be digit-streamed, which the ⊤ width
+    # correctly forces the certifier to check.
+    "merge_opt": AV(TOP, content=AV(TOP, content=AV(
+        Width(logn=2, const=6), content=AV_LOGN))),
+    "fold_forget_opt": AV(TOP, content=AV(TOP, content=AV(
+        Width(logn=2, const=6), content=AV_LOGN))),
     "bit_length": AV(Width(logn=1, const=2)),
     # RNG draws (seeded or not — determinism is RL002's department) are
     # machine-word bounded.
@@ -461,6 +489,13 @@ class _Interp:
         env: Dict[str, AV],
     ) -> None:
         if isinstance(target, ast.Name):
+            alias = _method_alias_result(value_expr)
+            if alias is not None:
+                value = AV(
+                    value.width, content=value.content,
+                    const_value=value.const_value,
+                    value_le_d=value.value_le_d, call_result=alias,
+                )
             env[target.id] = _weak(env, target.id, value)
         elif isinstance(target, (ast.Tuple, ast.List)):
             elts = list(target.elts)
@@ -797,6 +832,11 @@ class _Interp:
         self, name: str, call: ast.Call, env: Dict[str, AV]
     ) -> AV:
         args = [self.eval(a, env) for a in call.args]
+        bound = env.get(name)
+        if bound is not None and bound.call_result is not None:
+            # A bound-method alias (``enc = codec.encode``): calling the
+            # name yields the method's known result width.
+            return bound.call_result
         if name in env:
             # A local binding shadows the builtin / helper meaning; a
             # nested function is still resolvable through the resolver.
@@ -939,6 +979,24 @@ def _load_of(target: ast.AST) -> ast.AST:
     return clone
 
 
+def _method_alias_result(expr: Optional[ast.AST]) -> Optional[AV]:
+    """The call-result AV when ``expr`` is a known-width bound method.
+
+    Recognizes ``obj.encode`` (uncalled) and conditional picks between
+    such methods (``ids.encode if tab is not None else codec.encode``),
+    so sends through the aliased name stay statically boundable.
+    """
+    if isinstance(expr, ast.IfExp):
+        body = _method_alias_result(expr.body)
+        orelse = _method_alias_result(expr.orelse)
+        if body is not None and orelse is not None:
+            return body.join(orelse)
+        return None
+    if isinstance(expr, ast.Attribute) and expr.attr in _ATTR_CALL_RESULTS:
+        return _ATTR_CALL_RESULTS[expr.attr]
+    return None
+
+
 def _weak(env: Dict[str, AV], name: str, value: AV) -> AV:
     old = env.get(name)
     return value if old is None else old.join(value)
@@ -1045,6 +1103,9 @@ def _widen(env: Dict[str, AV], prev: Dict[str, Width]) -> Dict[str, AV]:
             content=av.content,
             const_value=av.const_value if width == av.width else None,
             value_le_d=av.value_le_d,
+            # A bound-method alias never changes what its calls return,
+            # however wide the binding itself is widened.
+            call_result=av.call_result,
         )
     return out
 

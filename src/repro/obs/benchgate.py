@@ -143,21 +143,25 @@ def compare_bench(
             lines.append(f"  {exp}: grid differs from baseline; "
                          "correctness checks skipped")
 
-        fs, bs = f.get("speedup"), b.get("speedup")
-        if isinstance(fs, (int, float)) and isinstance(bs, (int, float)):
+        for metric in ("speedup", "vectorized_speedup"):
+            fs, bs = f.get(metric), b.get(metric)
+            if not isinstance(fs, (int, float)) \
+                    or not isinstance(bs, (int, float)):
+                continue
             limit = bs * (1 - speedup_tolerance)
             if fs < limit and fs < speedup_floor:
                 breaches.append(BenchBreach(
-                    name, exp, "speedup", fs, bs,
+                    name, exp, metric, fs, bs,
                     f"below {limit:.2f}x (={100 * (1 - speedup_tolerance):g}% "
                     f"of baseline) and below the {speedup_floor:g}x floor",
                 ))
-                lines.append(f"  {exp}: speedup {fs}x vs baseline {bs}x SLOW")
+                lines.append(f"  {exp}: {metric} {fs}x vs baseline {bs}x SLOW")
             else:
-                lines.append(f"  {exp}: speedup {fs}x vs baseline {bs}x ok")
+                lines.append(f"  {exp}: {metric} {fs}x vs baseline {bs}x ok")
 
         if time_tolerance is not None:
-            for metric in ("naive_seconds", "batched_seconds"):
+            for metric in ("naive_seconds", "batched_seconds",
+                           "vectorized_seconds"):
                 fv, bv = f.get(metric), b.get(metric)
                 if not isinstance(fv, (int, float)) \
                         or not isinstance(bv, (int, float)):

@@ -17,6 +17,9 @@ case from a source case and states how the answers must relate:
 * **seed independence** — the simulator seed and delivery order
   permute message arrival, never answers: every (seed, inbox order)
   perturbation of a fault-free run returns the same verdict/value/count.
+* **engine equivalence** — the ``vectorized`` kernel engine is
+  byte-identical to ``batched``: same answers *and* the same
+  (rounds, messages, bits, classes) signature on every case.
 
 All relations report :class:`~repro.testkit.oracles.Discrepancy` values,
 so the fuzz runner treats them exactly like differential failures.
@@ -39,6 +42,7 @@ from .cases import Case
 from .oracles import (
     Discrepancy,
     Reference,
+    _byte_signature,
     _expected_fields,
     _outcome_fields,
     _run_cell,
@@ -47,6 +51,7 @@ from .oracles import (
 
 __all__ = [
     "check_metamorphic",
+    "engine_equivalence_relation",
     "isomorphism_relation",
     "label_permutation_relation",
     "seed_independence_relation",
@@ -167,6 +172,41 @@ def seed_independence_relation(
     return found
 
 
+def engine_equivalence_relation(
+    case: Case, cache: AutomatonCache, ref: Reference
+) -> List[Discrepancy]:
+    """``vectorized`` must be byte-identical to ``batched``.
+
+    Beyond agreeing on the answer, the two engines must produce the
+    same CONGEST transcript signature — rounds, messages, payload
+    bits, and class count — because the vectorized kernel only changes
+    *local* computation, never what goes on the wire.
+    """
+    expected = _expected_fields(case, ref)
+    cells = {}
+    for engine in ("batched", "vectorized"):
+        session = Session(
+            case.graph, case.d, seed=case.seed, engine=engine, cache=cache,
+        )
+        cells[engine] = _run_cell(case, session)
+    found: List[Discrepancy] = []
+    got = _outcome_fields(case, cells["vectorized"])
+    if got != expected:
+        found.append(Discrepancy(
+            case.case_id, "metamorphic-engine",
+            f"vectorized engine answered {got!r} instead of {expected!r}",
+            note=case.note,
+        ))
+    sig = {e: _byte_signature(r) for e, r in cells.items()}
+    if sig["vectorized"] != sig["batched"]:
+        found.append(Discrepancy(
+            case.case_id, "metamorphic-engine-bytes",
+            f"vectorized signature {sig['vectorized']!r} != "
+            f"batched {sig['batched']!r}", note=case.note,
+        ))
+    return found
+
+
 def union_relation(
     case: Case, cache: AutomatonCache, ref: Reference,
     other: Optional[Graph] = None,
@@ -209,6 +249,7 @@ def check_metamorphic(
     found.extend(isomorphism_relation(base, cache, ref))
     found.extend(label_permutation_relation(base, cache, ref))
     found.extend(seed_independence_relation(base, cache, ref))
+    found.extend(engine_equivalence_relation(base, cache, ref))
     if base.workload in ("decide", "certify") and "/union/" in f"/{base.note}/":
         found.extend(union_relation(base, cache, ref))
     return found

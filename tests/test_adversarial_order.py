@@ -7,7 +7,7 @@ import pytest
 from repro.algebra import compile_formula
 from repro.congest import INBOX_ORDERS, Simulation, run_protocol
 from repro.congest.messages import payload_bits
-from repro.distributed import build_elimination_tree, decide
+from repro.distributed import build_elimination_tree, decide_pipeline
 from repro.errors import CongestError, PayloadTypeError
 from repro.graph import generators as gen
 from repro.mso import formulas
@@ -50,9 +50,9 @@ def test_decision_invariant_under_adversarial_orders(order):
     automaton = compile_formula(formulas.triangle_free(), ())
     for g in networks():
         d = treedepth(g)
-        baseline = decide(automaton, g, d=d)
+        baseline = decide_pipeline(automaton, g, d=d)
         for seed in SEEDS:
-            outcome = decide(
+            outcome = decide_pipeline(
                 automaton, g, d=d, inbox_order=order, seed=seed
             )
             assert outcome.accepted == baseline.accepted

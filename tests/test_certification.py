@@ -133,7 +133,7 @@ def test_certificate_size_is_logarithmic_per_depth():
 def test_verification_single_round_vs_decision_rounds():
     # The trade-off of E8: verification is 1 round; the decision protocol
     # pays O(2^{2d}) rounds.
-    from repro.distributed import decide
+    from repro.distributed import decide_pipeline
 
     automaton = compile_formula(formulas.acyclic(), ())
     g = gen.caterpillar(4, 2)
@@ -142,6 +142,6 @@ def test_verification_single_round_vs_decision_rounds():
     assert verification.accepted
     from repro.treedepth import treedepth
 
-    decision = decide(compile_formula(formulas.acyclic(), ()), g, d=treedepth(g))
+    decision = decide_pipeline(compile_formula(formulas.acyclic(), ()), g, d=treedepth(g))
     assert decision.accepted
     assert verification.rounds < decision.total_rounds

@@ -4,7 +4,7 @@ set (virtual backbone)."""
 import pytest
 
 from repro.algebra import compile_formula, optimize
-from repro.distributed import optimize_distributed
+from repro.distributed import optimize_pipeline
 from repro.graph import Graph
 from repro.graph import generators as gen
 from repro.graph import properties as props
@@ -54,7 +54,7 @@ def test_distributed_connected_dominating_set():
     s = vertex_set("S")
     automaton = compile_formula(formulas.connected_dominating_set(s), (s,))
     g = gen.caterpillar(3, 2)
-    outcome = optimize_distributed(automaton, g, d=4, maximize=False)
+    outcome = optimize_pipeline(automaton, g, d=4, maximize=False)
     assert outcome.feasible
     oracle = props.min_connected_dominating_set(g)
     assert oracle is not None and outcome.value == oracle[0]

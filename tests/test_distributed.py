@@ -6,10 +6,10 @@ import pytest
 from repro.algebra import compile_formula, compile_with_singletons
 from repro.distributed import (
     build_elimination_tree,
-    count_distributed,
-    decide,
+    count_pipeline,
+    decide_pipeline,
     gather_decide,
-    optimize_distributed,
+    optimize_pipeline,
     optmarked_distributed,
 )
 from repro.graph import Graph
@@ -114,7 +114,7 @@ def test_distributed_decision_matches_oracle(name, formula, oracle):
     automaton = compile_formula(formula, ())
     for g in small_networks():
         d = treedepth(g)
-        outcome = decide(automaton, g, d=d)
+        outcome = decide_pipeline(automaton, g, d=d)
         assert not outcome.treedepth_exceeded
         assert outcome.accepted == oracle(g), g
         if g.num_vertices() > 1:
@@ -124,7 +124,7 @@ def test_distributed_decision_matches_oracle(name, formula, oracle):
 
 def test_distributed_decision_treedepth_exceeded():
     automaton = compile_formula(formulas.acyclic(), ())
-    outcome = decide(automaton, gen.path(8), d=1)
+    outcome = decide_pipeline(automaton, gen.path(8), d=1)
     assert outcome.treedepth_exceeded
     assert not outcome.accepted
 
@@ -134,12 +134,12 @@ def test_distributed_decision_labeled():
     for v, lab in [(0, "red"), (1, "blue"), (2, "red")]:
         g.add_vertex_label(v, lab)
     automaton = compile_formula(formulas.properly_2_labeled(), ())
-    assert decide(automaton, g, d=2).accepted
+    assert decide_pipeline(automaton, g, d=2).accepted
     g2 = gen.path(3)
     g2.add_vertex_label(0, "red")
     g2.add_vertex_label(1, "red")
     g2.add_vertex_label(2, "blue")
-    assert not decide(automaton, g2, d=2).accepted
+    assert not decide_pipeline(automaton, g2, d=2).accepted
 
 
 def test_distributed_decision_rounds_independent_of_n():
@@ -147,7 +147,7 @@ def test_distributed_decision_rounds_independent_of_n():
     rounds = []
     for n in (8, 16, 32):
         g = gen.star(n - 1)
-        outcome = decide(automaton, g, d=2)
+        outcome = decide_pipeline(automaton, g, d=2)
         rounds.append(outcome.total_rounds)
     assert len(set(rounds)) == 1
 
@@ -170,7 +170,7 @@ def test_distributed_optimization_matches_bruteforce(factory, maximize, oracle):
     automaton = compile_formula(formula, (s,))
     for g in [gen.path(6), gen.cycle(5), gen.star(4),
               gen.random_bounded_treedepth(9, 3, seed=7)]:
-        outcome = optimize_distributed(automaton, g, d=treedepth(g), maximize=maximize)
+        outcome = optimize_pipeline(automaton, g, d=treedepth(g), maximize=maximize)
         assert outcome.feasible
         expected, _ = oracle(g)
         assert outcome.value == expected, g
@@ -184,7 +184,7 @@ def test_distributed_optimization_weighted():
         g.set_vertex_weight(v, w)
     s = vertex_set("S")
     automaton = compile_formula(formulas.independent_set(s), (s,))
-    outcome = optimize_distributed(automaton, g, d=3, maximize=True)
+    outcome = optimize_pipeline(automaton, g, d=3, maximize=True)
     assert outcome.feasible
     assert outcome.value == 12
     assert outcome.witness == frozenset({1, 3})
@@ -194,7 +194,7 @@ def test_distributed_optimization_edge_sets():
     m = edge_set("M")
     automaton = compile_formula(formulas.matching(m), (m,))
     for g in [gen.path(5), gen.star(4), gen.cycle(4)]:
-        outcome = optimize_distributed(automaton, g, d=treedepth(g), maximize=True)
+        outcome = optimize_pipeline(automaton, g, d=treedepth(g), maximize=True)
         assert outcome.feasible
         assert outcome.value == props.max_matching_size(g)
         assert props.is_matching(g, outcome.witness)
@@ -208,7 +208,7 @@ def test_distributed_mst():
     g.set_edge_weight(0, 3, 1)
     t = edge_set("T")
     automaton = compile_formula(formulas.spanning_tree(t), (t,))
-    outcome = optimize_distributed(automaton, g, d=3, maximize=False)
+    outcome = optimize_pipeline(automaton, g, d=3, maximize=False)
     assert outcome.feasible
     assert outcome.value == 3
     assert props.is_spanning_tree(g, outcome.witness)
@@ -220,7 +220,7 @@ def test_distributed_optimization_infeasible():
     t = edge_set("T")
     impossible = and_(formulas.matching(t), IncCounts(t, frozenset({2})))
     automaton = compile_formula(impossible, (t,))
-    outcome = optimize_distributed(automaton, gen.path(2), d=2)
+    outcome = optimize_pipeline(automaton, gen.path(2), d=2)
     assert not outcome.feasible
     assert outcome.witness == frozenset()
 
@@ -233,7 +233,7 @@ def test_distributed_triangle_counting():
     formula, variables = formulas.triangle_assignment()
     automaton = compile_with_singletons(formula, variables)
     for g in [gen.clique(4), gen.paw(), gen.cycle(5), gen.diamond()]:
-        outcome = count_distributed(automaton, g, d=treedepth(g))
+        outcome = count_pipeline(automaton, g, d=treedepth(g))
         assert outcome.count == 6 * props.count_triangles(g), g
 
 
@@ -242,7 +242,7 @@ def test_distributed_counting_large_counts_fragmented():
     s = vertex_set("S")
     automaton = compile_formula(formulas.independent_set(s), (s,))
     g = gen.star(12)
-    outcome = count_distributed(automaton, g, d=2)
+    outcome = count_pipeline(automaton, g, d=2)
     from repro.mso import count_satisfying_assignments
 
     assert outcome.count == 2 ** 12 + 1  # leaves free + center alone

@@ -58,25 +58,27 @@ def _snapshot(result):
 
 
 def test_engines_registered():
-    assert set(ENGINES) == {"naive", "batched"}
+    assert set(ENGINES) == {"naive", "batched", "vectorized"}
 
 
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "naive"])
 @pytest.mark.parametrize("inbox_order", INBOX_ORDERS)
-def test_batched_identical_across_inbox_orders(inbox_order):
+def test_batched_identical_across_inbox_orders(inbox_order, engine):
     g = gen.random_bounded_treedepth(14, 3, seed=2)
     for program in (gossip_min_program, chatter_program):
         naive = run_protocol(
             g, program, inbox_order=inbox_order, seed=7, engine="naive"
         )
         batched = run_protocol(
-            g, program, inbox_order=inbox_order, seed=7, engine="batched"
+            g, program, inbox_order=inbox_order, seed=7, engine=engine
         )
         assert _snapshot(naive) == _snapshot(batched)
-        assert batched.engine == "batched"
-        assert batched.replay_args()["engine"] == "batched"
+        assert batched.engine == engine
+        assert batched.replay_args()["engine"] == engine
 
 
-def test_batched_identical_under_faults():
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "naive"])
+def test_batched_identical_under_faults(engine):
     g = gen.random_bounded_treedepth(14, 3, seed=2)
     plan = FaultPlan(
         seed=5, drop_rate=0.1, duplicate_rate=0.05, delay_rate=0.05,
@@ -85,7 +87,7 @@ def test_batched_identical_under_faults():
     naive = run_protocol(g, gossip_min_program, seed=3, faults=plan,
                          engine="naive")
     batched = run_protocol(g, gossip_min_program, seed=3, faults=plan,
-                           engine="batched")
+                           engine=engine)
     assert _snapshot(naive) == _snapshot(batched)
 
 
@@ -110,7 +112,8 @@ def test_pipelines_identical_across_engines():
             optimized.value, optimized.witness, optimized.total_rounds,
             counted.count, counted.total_rounds,
         )
-    assert runs["naive"] == runs["batched"]
+    for engine in ENGINES:
+        assert runs[engine] == runs["naive"], engine
 
 
 def test_unknown_engine_rejected():

@@ -154,12 +154,12 @@ def test_clique_atom_cheaper_than_quantifiers():
 
 
 def test_distributed_max_clique():
-    from repro.distributed import optimize_distributed
+    from repro.distributed import optimize_pipeline
 
     s = vertex_set("S")
     automaton = compile_formula(formulas.max_clique_set(s), (s,))
     g = gen.random_bounded_treedepth(10, 3, seed=6, edge_prob=0.8)
-    outcome = optimize_distributed(automaton, g, d=3, maximize=True)
+    outcome = optimize_pipeline(automaton, g, d=3, maximize=True)
     assert outcome.feasible
     assert props.is_clique(g, outcome.witness)
     best = max(len(sub) for sub in _all_cliques(g))

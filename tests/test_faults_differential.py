@@ -19,7 +19,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.algebra import compile_formula
 from repro.congest import NodeContext, node_program, run_protocol
-from repro.distributed import decide
+from repro.distributed import decide_pipeline
 from repro.errors import FaultToleranceExceeded
 from repro.faults import FaultPlan, RetryPolicy
 from repro.graph import generators as gen
@@ -107,7 +107,7 @@ def test_lossy_decide_agrees_or_fails_closed(net, idx, drop, fault_seed,
     plan = FaultPlan(seed=fault_seed, drop_rate=drop)
     retry = RetryPolicy(attempts=attempts)
     try:
-        outcome = decide(DIFF_AUTOMATA[idx], graph, d=depth,
+        outcome = decide_pipeline(DIFF_AUTOMATA[idx], graph, d=depth,
                          faults=plan, retry=retry)
     except FaultToleranceExceeded:
         return  # failing closed is within the contract

@@ -236,13 +236,13 @@ def test_negative_weight_edges_mst_style():
 
 
 def test_distributed_negative_weights():
-    from repro.distributed import optimize_distributed
+    from repro.distributed import optimize_pipeline
 
     g = gen.star(4)
     g.set_vertex_weight(0, -10)
     s = vertex_set("S")
     automaton = compile_formula(formulas.dominating_set(s), (s,))
-    outcome = optimize_distributed(automaton, g, d=2, maximize=False)
+    outcome = optimize_pipeline(automaton, g, d=2, maximize=False)
     assert outcome.feasible
     # Taking the center *and* nothing else costs -10; any leaf-only
     # dominating set costs >= 4.
@@ -255,16 +255,16 @@ def test_distributed_negative_weights():
 # ----------------------------------------------------------------------
 
 def test_distributed_edge_labels():
-    from repro.distributed import decide
+    from repro.distributed import decide_pipeline
     from repro.mso import parse
 
     g = gen.path(4)
     g.add_edge_label(1, 2, "backbone")
     formula = parse("exists e:E . label(backbone, e)")
     automaton = compile_formula(formula, ())
-    assert decide(automaton, g, d=3).accepted
+    assert decide_pipeline(automaton, g, d=3).accepted
     bare = gen.path(4)
-    assert not decide(automaton, bare, d=3).accepted
+    assert not decide_pipeline(automaton, bare, d=3).accepted
 
 
 # ----------------------------------------------------------------------
@@ -282,7 +282,7 @@ def test_optimization_is_deterministic():
 
 
 def test_distributed_matches_sequential_on_random_batch():
-    from repro.distributed import decide
+    from repro.distributed import decide_pipeline
     from repro.treedepth import treedepth
 
     formula = formulas.k_colorable(2)
@@ -290,6 +290,6 @@ def test_distributed_matches_sequential_on_random_batch():
     for seed in range(5):
         g = gen.random_bounded_treedepth(9, 3, seed=seed, edge_prob=0.5)
         sequential = check(formula, g, forest_of(g), automaton)
-        distributed = decide(automaton, g, d=3)
+        distributed = decide_pipeline(automaton, g, d=3)
         assert not distributed.treedepth_exceeded
         assert distributed.accepted == sequential, seed

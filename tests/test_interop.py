@@ -43,11 +43,11 @@ def test_from_networkx_rejects_self_loops():
 def test_pipeline_on_networkx_import():
     # An nx graph can be fed straight into the distributed pipeline.
     from repro.algebra import compile_formula
-    from repro.distributed import decide
+    from repro.distributed import decide_pipeline
     from repro.mso import formulas
 
     g = from_networkx(nx.balanced_tree(2, 3))  # binary tree, depth 4
     automaton = compile_formula(formulas.acyclic(), ())
-    outcome = decide(automaton, g, d=4)
+    outcome = decide_pipeline(automaton, g, d=4)
     assert not outcome.treedepth_exceeded
     assert outcome.accepted

@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.algebra import check, compile_formula, count as seq_count, optimize as seq_optimize
 from repro.algebra import compile_with_singletons
-from repro.distributed import count_distributed, decide, optimize_distributed
+from repro.distributed import count_pipeline, decide_pipeline, optimize_pipeline
 from repro.graph import generators as gen
 from repro.mso import formulas, vertex_set
 from repro.treedepth import dfs_elimination_forest
@@ -41,7 +41,7 @@ def test_distributed_decision_equals_sequential(net, idx):
     formula = DECISION_FORMULAS[idx]
     automaton = DECISION_AUTOMATA[idx]
     sequential = check(formula, g, dfs_elimination_forest(g), automaton)
-    outcome = decide(automaton, g, d=depth)
+    outcome = decide_pipeline(automaton, g, d=depth)
     assert not outcome.treedepth_exceeded
     assert outcome.accepted == sequential
 
@@ -61,7 +61,7 @@ def test_distributed_optimization_equals_sequential(net, weights):
         _OPT_FORMULA, g, dfs_elimination_forest(g), _S, maximize=True,
         automaton=_OPT_AUTOMATON,
     )
-    outcome = optimize_distributed(_OPT_AUTOMATON, g, d=depth, maximize=True)
+    outcome = optimize_pipeline(_OPT_AUTOMATON, g, d=depth, maximize=True)
     assert outcome.feasible and sequential is not None
     assert outcome.value == sequential.value
     # Witnesses may differ between runs; both must achieve the optimum.
@@ -80,5 +80,5 @@ def test_distributed_counting_equals_sequential(net):
         _COUNT_FORMULA, g, dfs_elimination_forest(g), _COUNT_VARS,
         automaton=_COUNT_AUTOMATON,
     )
-    outcome = count_distributed(_COUNT_AUTOMATON, g, d=depth)
+    outcome = count_pipeline(_COUNT_AUTOMATON, g, d=depth)
     assert outcome.count == sequential

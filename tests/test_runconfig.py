@@ -1,0 +1,179 @@
+"""RunConfig: the single validated configuration surface.
+
+Covers the from_kwargs funnel (defaults, None-means-default, the
+config-vs-kwargs clash), typed engine validation, the JSON replay
+round-trip, and the Session/pipeline integration points.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.algebra import compile_formula
+from repro.api import Result, RunConfig, Session
+from repro.distributed import count_pipeline, decide_pipeline
+from repro.errors import ReproError, UnknownEngineError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.graph import generators as gen
+from repro.mso import formulas
+from repro.runconfig import REPLAY_FIELDS
+
+
+def test_defaults():
+    cfg = RunConfig()
+    assert cfg.engine == "batched"
+    assert cfg.inbox_order == "arrival"
+    assert cfg.seed is None
+    assert cfg.faults is None
+
+
+def test_frozen():
+    cfg = RunConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.engine = "naive"
+
+
+def test_unknown_engine_typed():
+    with pytest.raises(UnknownEngineError) as exc:
+        RunConfig(engine="warp")
+    message = str(exc.value)
+    assert "warp" in message
+    # The error must name every valid engine.
+    for engine in ("naive", "batched", "vectorized"):
+        assert engine in message
+
+
+def test_unknown_inbox_order():
+    with pytest.raises(ReproError):
+        RunConfig(inbox_order="chaotic")
+
+
+def test_from_kwargs_none_means_default():
+    cfg = RunConfig.from_kwargs(engine=None, seed=None, inbox_order=None)
+    assert cfg == RunConfig()
+
+
+def test_from_kwargs_defaults_mapping():
+    cfg = RunConfig.from_kwargs(defaults={"engine": "naive"}, engine=None)
+    assert cfg.engine == "naive"
+    # An explicit kwarg beats the caller default.
+    cfg = RunConfig.from_kwargs(
+        defaults={"engine": "naive"}, engine="vectorized"
+    )
+    assert cfg.engine == "vectorized"
+
+
+def test_from_kwargs_config_passthrough():
+    cfg = RunConfig(seed=9, engine="vectorized")
+    assert RunConfig.from_kwargs(cfg) is cfg
+
+
+def test_from_kwargs_clash_rejected():
+    cfg = RunConfig(seed=9)
+    with pytest.raises(ReproError, match="not both"):
+        RunConfig.from_kwargs(cfg, engine="naive")
+    # None-valued kwargs do not clash: they mean "unspecified".
+    assert RunConfig.from_kwargs(cfg, engine=None) is cfg
+
+
+def test_from_kwargs_unknown_key():
+    with pytest.raises(ReproError, match="unknown run configuration"):
+        RunConfig.from_kwargs(warp_factor=9)
+
+
+def test_with_overrides_revalidates():
+    cfg = RunConfig()
+    assert cfg.with_overrides(engine="vectorized").engine == "vectorized"
+    with pytest.raises(UnknownEngineError):
+        cfg.with_overrides(engine="warp")
+
+
+def test_json_round_trip():
+    cfg = RunConfig(
+        seed=7, inbox_order="sorted", engine="vectorized",
+        faults=FaultPlan(seed=3, drop_rate=0.1),
+        retry=RetryPolicy(attempts=2), budget=64,
+    )
+    encoded = json.loads(json.dumps(cfg.to_json()))
+    decoded = RunConfig.from_json(encoded)
+    assert decoded.replay_args() == cfg.replay_args()
+
+
+def test_from_json_rejects_unknown_keys():
+    with pytest.raises(ReproError, match="unknown replay"):
+        RunConfig.from_json({"seed": 1, "warp": True})
+
+
+def test_from_json_rejects_nonreplay_fields():
+    # trace/cache/codec hold live objects and must never round-trip.
+    assert set(RunConfig(seed=1).to_json()) == set(REPLAY_FIELDS)
+    with pytest.raises(ReproError):
+        RunConfig.from_json({"trace": True})
+
+
+def test_session_accepts_config():
+    g = gen.random_bounded_treedepth(12, 3, seed=4)
+    cfg = RunConfig(seed=5, engine="vectorized", inbox_order="reversed")
+    session = Session(g, 3, config=cfg)
+    assert session.engine == "vectorized"
+    assert session.seed == 5
+    result = session.decide(formulas.triangle_free())
+    assert isinstance(result, Result)
+    assert result.replay_args["engine"] == "vectorized"
+
+
+def test_session_config_kwargs_clash():
+    g = gen.path(4)
+    with pytest.raises(ReproError, match="not both"):
+        Session(g, 2, engine="naive", config=RunConfig())
+
+
+def test_session_replay_round_trip():
+    g = gen.random_bounded_treedepth(12, 3, seed=4)
+    first = Session(
+        g, 3, seed=11, engine="vectorized", inbox_order="shuffle",
+    ).decide(formulas.triangle_free())
+    replay = json.loads(json.dumps(dict(first.replay_args)))
+    second = Session.from_replay(g, 3, replay).decide(
+        formulas.triangle_free()
+    )
+    assert second.replay_args["engine"] == "vectorized"
+    assert (first.verdict, first.rounds, first.messages,
+            first.max_payload_bits) == \
+           (second.verdict, second.rounds, second.messages,
+            second.max_payload_bits)
+
+
+def test_pipelines_accept_config():
+    g = gen.random_bounded_treedepth(12, 3, seed=4)
+    automaton = compile_formula(formulas.triangle_free())
+    cfg = RunConfig(seed=2, engine="vectorized")
+    via_config = decide_pipeline(automaton, g, 3, config=cfg)
+    via_kwargs = decide_pipeline(
+        automaton, g, 3, seed=2, engine="vectorized"
+    )
+    assert via_config.accepted == via_kwargs.accepted  # pipeline result field
+    assert via_config.total_rounds == via_kwargs.total_rounds
+    with pytest.raises(ReproError, match="not both"):
+        decide_pipeline(automaton, g, 3, seed=2, config=cfg)
+
+
+def test_pipeline_default_engine_is_naive():
+    # Pipelines keep their historical default; Session defaults batched.
+    g = gen.random_bounded_treedepth(10, 3, seed=1)
+    formula, variables = formulas.triangle_assignment()
+    automaton = compile_formula(formula, variables)
+    default_run = count_pipeline(automaton, g, 3, seed=1)
+    naive_run = count_pipeline(automaton, g, 3, seed=1, engine="naive")
+    assert default_run == naive_run
+    assert Session(g, 3).engine == "batched"
+
+
+def test_unknown_engine_everywhere():
+    g = gen.path(4)
+    with pytest.raises(UnknownEngineError):
+        Session(g, 2, engine="warp")
+    automaton = compile_formula(formulas.triangle_free())
+    with pytest.raises(UnknownEngineError):
+        decide_pipeline(automaton, g, 2, engine="warp")

@@ -5,7 +5,7 @@ from itertools import combinations
 import pytest
 
 from repro.algebra import compile_formula, optimize
-from repro.distributed import optimize_distributed
+from repro.distributed import optimize_pipeline
 from repro.graph import Graph
 from repro.graph import generators as gen
 from repro.mso import edge_set, evaluate, formulas
@@ -85,7 +85,7 @@ def test_distributed_steiner():
     label_terminals(g, [0, 2])
     s = edge_set("St")
     automaton = compile_formula(formulas.steiner_connector(s), (s,))
-    outcome = optimize_distributed(automaton, g, d=3, maximize=False)
+    outcome = optimize_pipeline(automaton, g, d=3, maximize=False)
     assert outcome.feasible
     assert outcome.value == 2
     # The witness connects the terminals.

@@ -1,0 +1,184 @@
+"""TabulatedAutomaton: the vectorized kernel behind ``engine="vectorized"``.
+
+The wrapper must be a drop-in TreeAutomaton — same states, same class
+ids, same accepts — while exposing the integer-id fast path used by the
+vectorized engine.  These tests pin the equivalence, the dict fallback
+when numpy is unavailable, pickling through the automaton cache, and
+the digest memoization of identical subtree joins.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algebra import (
+    TabulatedAutomaton,
+    check,
+    compile_formula,
+    count,
+    run_states,
+    tabulated,
+)
+from repro.algebra import tables as tables_mod
+from repro.graph import generators as gen
+from repro.mso import formulas, vertex_set
+from repro.treedepth import best_heuristic_forest
+
+
+@pytest.fixture
+def graph():
+    return gen.random_bounded_treedepth(14, 3, seed=6)
+
+
+@pytest.fixture
+def forest(graph):
+    return best_heuristic_forest(graph)
+
+
+def _fresh_pair():
+    """A plain automaton and an independently compiled tabulated twin."""
+    plain = compile_formula(formulas.triangle_free())
+    tab = tabulated(compile_formula(formulas.triangle_free()))
+    return plain, tab
+
+
+def test_tabulated_idempotent():
+    plain = compile_formula(formulas.triangle_free())
+    tab = tabulated(plain)
+    assert isinstance(tab, TabulatedAutomaton)
+    assert tabulated(tab) is tab
+    assert tabulated(plain) is tab  # memoized on the inner automaton
+
+
+def test_id_round_trip(graph, forest):
+    plain, tab = _fresh_pair()
+    state = run_states(tab, graph, forest)
+    sid = tab.id_of(state)
+    assert tab.state_of(sid) == state
+    assert tab.id_of(tab.state_of(sid)) == sid
+    assert tab.accepts_id(sid) == tab.accepts(state)
+
+
+def test_run_states_matches_state_level(graph, forest):
+    plain, tab = _fresh_pair()
+    assert run_states(tab, graph, forest) == run_states(plain, graph, forest)
+
+
+def test_check_matches_state_level(graph, forest):
+    phi = formulas.triangle_free()
+    plain = compile_formula(phi)
+    tab = tabulated(compile_formula(phi))
+    assert check(phi, graph, forest, automaton=tab) == \
+        check(phi, graph, forest, automaton=plain)
+
+
+def test_count_matches_state_level(graph, forest):
+    formula, variables = formulas.triangle_assignment()
+    expected = count(formula, graph, forest, variables)
+    got = count(formula, graph, forest, variables)
+    assert got == expected
+    # And through an explicitly tabulated singleton automaton.
+    from repro.algebra.compiler import compile_with_singletons
+
+    automaton = tabulated(compile_with_singletons(formula, variables))
+    assert count(formula, graph, forest, variables,
+                 automaton=automaton) == expected
+
+
+def test_glue_and_forget_tables(graph, forest):
+    _, tab = _fresh_pair()
+    run_states(tab, graph, forest)  # populate the tables
+    assert tab.table_entries() > 0
+    # Re-running hits the tables, never changes the answers.
+    before = tab.table_entries()
+    first = run_states(tab, graph, forest)
+    assert run_states(tab, graph, forest) == first
+    assert tab.table_entries() == before
+
+
+def test_dict_fallback_matches_numpy(graph, forest):
+    """Simulating a numpy-less install must not change anything."""
+    plain, tab = _fresh_pair()
+    fallback = tabulated(compile_formula(formulas.triangle_free()))
+    assert fallback is not tab
+    fallback._np = None  # what ``import numpy`` failing looks like
+    assert run_states(fallback, graph, forest) == \
+        run_states(tab, graph, forest)
+    assert fallback.table_entries() == tab.table_entries()
+
+
+def test_module_level_numpy_absence(monkeypatch, graph, forest):
+    """A fresh wrapper built while numpy is unimportable still works."""
+    monkeypatch.setattr(tables_mod, "_np", None)
+    tab = tabulated(compile_formula(formulas.triangle_free()))
+    assert tab._np is None
+    plain = compile_formula(formulas.triangle_free())
+    assert run_states(tab, graph, forest) == run_states(plain, graph, forest)
+
+
+def test_vectorized_pipeline_without_numpy(monkeypatch):
+    """The CONGEST vectorized engine survives a numpy-less install."""
+    monkeypatch.setattr(tables_mod, "_np", None)
+    from repro.api import Session
+
+    g = gen.random_bounded_treedepth(12, 3, seed=3)
+    fast = Session(g, 3, seed=1, engine="vectorized").decide(
+        formulas.triangle_free()
+    )
+    slow = Session(g, 3, seed=1, engine="batched").decide(
+        formulas.triangle_free()
+    )
+    assert (fast.verdict, fast.rounds, fast.messages,
+            fast.max_payload_bits, fast.num_classes) == \
+           (slow.verdict, slow.rounds, slow.messages,
+            slow.max_payload_bits, slow.num_classes)
+
+
+def test_pickle_round_trip(graph, forest):
+    _, tab = _fresh_pair()
+    expected = run_states(tab, graph, forest)
+    clone = pickle.loads(pickle.dumps(tab))
+    assert isinstance(clone, TabulatedAutomaton)
+    # The clone keeps the learned tables and the id assignment.
+    assert clone.table_entries() == tab.table_entries()
+    assert run_states(clone, graph, forest) == expected
+
+
+def test_pickle_upgrades_dict_backend(graph, forest):
+    """A kernel persisted without numpy loads as arrays when numpy is back."""
+    if tables_mod._np is None:
+        pytest.skip("needs numpy to upgrade into")
+    _, tab = _fresh_pair()
+    tab._np = None  # build dict-backed tables, as a numpy-less process would
+    expected = run_states(tab, graph, forest)
+    clone = pickle.loads(pickle.dumps(tab))
+    assert clone._np is tables_mod._np
+    assert all(not isinstance(t, dict) for t in clone._glue_tables.values())
+    assert clone.table_entries() == tab.table_entries()
+    assert run_states(clone, graph, forest) == expected
+
+
+def test_digest_memoizes_identical_subtrees():
+    _, tab = _fresh_pair()
+    pairs = ((0, 2), (1, 3))
+    assert tab.table_digest(pairs) == tab.table_digest(tuple(pairs))
+    assert tab.table_digest(pairs) != tab.table_digest(((0, 2),))
+
+
+def test_num_classes_shared_with_inner(graph, forest):
+    plain = compile_formula(formulas.triangle_free())
+    tab = tabulated(plain)
+    run_states(tab, graph, forest)
+    # intern/num_classes delegate to the wrapped automaton.
+    assert tab.num_classes() == plain.num_classes()
+
+
+def test_optimize_unaffected(graph, forest):
+    """Sequential optimize stays state-level even for tabulated input."""
+    from repro.algebra import optimize
+
+    s = vertex_set("S")
+    phi = formulas.independent_set(s)
+    plain = compile_formula(phi, (s,))
+    result = optimize(phi, graph, forest, s, maximize=True, automaton=plain)
+    assert result.value is not None
