@@ -1,7 +1,7 @@
-"""Engine benchmark: the three execution engines head-to-head.
+"""Engine benchmark: the execution engines head-to-head.
 
 Replays the E1 (decision rounds vs n) and E6 (counting) workloads in
-three modes:
+four modes:
 
 * ``naive``      — what every run cost before the execution engine: a
   cold ``compile_formula`` per grid point (no table reuse between
@@ -12,18 +12,31 @@ three modes:
 * ``vectorized`` — the batched path plus the
   :class:`repro.algebra.tables.TabulatedAutomaton` kernel: hash-consed
   integer state ids, dense transition tables, digest-memoized joins.
+* ``minimized``  — the batched path plus the
+  :mod:`repro.algebra.minimize` state-space reduction: every kernel
+  state is canonicalized to one representative per accept-behavior
+  class, so the batched scheduler's per-op caches collapse onto a far
+  smaller working set.  (The vectorized kernel already tabulates every
+  join, so minimization buys it little warm — the batched engine, the
+  Session default, is where the reduction pays.)
 
 All modes run the exact same grid through
 :func:`repro.congest.parallel.run_sweep`, so per-point seeds are the
 sweep's deterministic shard seeds.  Verdicts are cross-checked between
-modes — a speedup that changes an answer is a bug, not a result.
+modes — a speedup that changes an answer is a bug, not a result.  The
+first three modes pin ``minimize=False`` and must agree on rounds too;
+``minimized`` legitimately changes the transcript (it is a run-config
+change), so only its answers are cross-checked.
 
-Two speedups are reported per experiment: ``speedup`` (naive over
-batched, the historical engine gate) and ``vectorized_speedup``
-(batched over vectorized, the kernel gate).  E6's counting joins are
-merge-dominated, so the vectorized kernel must win big there (>= 3x
-warm); E1's decide workload is elimination-bound, so the kernel only
-has to not lose (>= 1x).
+Three speedups are reported per experiment: ``speedup`` (naive over
+batched, the historical engine gate), ``vectorized_speedup``
+(batched over vectorized, the kernel gate), and ``minimized_speedup``
+(batched over batched-with-minimization, the state-reduction gate).
+E6's counting joins are merge-dominated, so the vectorized kernel must
+win big there (>= 3x warm) and minimization must too (>= 1.5x: three
+quarters of its reachable states collapse); E1's decide workload is
+elimination-bound, so all kernels only have to not lose (>= 1x minus a
+noise margin).
 
 Usage::
 
@@ -45,6 +58,7 @@ import sys
 import time
 
 from repro.algebra import AutomatonCache, compile_formula
+from repro.algebra.minimize import minimized_automaton
 from repro.congest.parallel import run_sweep
 from repro.distributed import count_pipeline, decide_pipeline
 from repro.graph import generators as gen
@@ -70,23 +84,25 @@ def _graph(params):
     )
 
 
-def _decide_cached(params, engine):
+def _decide_cached(params, engine, minimize=False):
     automaton, codec = _CACHE.automaton_with_codec(
         _decide_formula(), (), d=params["d"], labels=()
     )
     out = decide_pipeline(
-        automaton, _graph(params), params["d"], codec=codec, engine=engine
+        automaton, _graph(params), params["d"], codec=codec, engine=engine,
+        minimize=minimize,
     )
     return {"verdict": out.accepted, "rounds": out.total_rounds}
 
 
-def _count_cached(params, engine):
+def _count_cached(params, engine, minimize=False):
     formula, variables = _count_formula()
     automaton, codec = _CACHE.automaton_with_codec(
         formula, variables, d=params["d"], labels=()
     )
     out = count_pipeline(
-        automaton, _graph(params), params["d"], codec=codec, engine=engine
+        automaton, _graph(params), params["d"], codec=codec, engine=engine,
+        minimize=minimize,
     )
     return {"verdict": out.count, "rounds": out.total_rounds}
 
@@ -94,7 +110,8 @@ def _count_cached(params, engine):
 def decide_naive_worker(params):
     automaton = compile_formula(_decide_formula())  # cold per point
     out = decide_pipeline(
-        automaton, _graph(params), params["d"], engine="naive"
+        automaton, _graph(params), params["d"], engine="naive",
+        minimize=False,
     )
     return {"verdict": out.accepted, "rounds": out.total_rounds}
 
@@ -107,11 +124,16 @@ def decide_vectorized_worker(params):
     return _decide_cached(params, "vectorized")
 
 
+def decide_minimized_worker(params):
+    return _decide_cached(params, "batched", minimize=True)
+
+
 def count_naive_worker(params):
     formula, variables = _count_formula()
     automaton = compile_formula(formula, variables)  # cold per point
     out = count_pipeline(
-        automaton, _graph(params), params["d"], engine="naive"
+        automaton, _graph(params), params["d"], engine="naive",
+        minimize=False,
     )
     return {"verdict": out.count, "rounds": out.total_rounds}
 
@@ -124,11 +146,30 @@ def count_vectorized_worker(params):
     return _count_cached(params, "vectorized")
 
 
+def count_minimized_worker(params):
+    return _count_cached(params, "batched", minimize=True)
+
+
+def _minimize_stats(name, d):
+    """Before/after state counts for an experiment's minimized kernel."""
+    if name == "E1":
+        automaton, _ = _CACHE.automaton_with_codec(
+            _decide_formula(), (), d=d, labels=()
+        )
+    else:
+        formula, variables = _count_formula()
+        automaton, _ = _CACHE.automaton_with_codec(
+            formula, variables, d=d, labels=()
+        )
+    wrapper = minimized_automaton(automaton, d=d, labels=())
+    return wrapper.stats if wrapper is not None else None
+
+
 EXPERIMENTS = {
     "E1": (decide_naive_worker, decide_batched_worker,
-           decide_vectorized_worker),
+           decide_vectorized_worker, decide_minimized_worker),
     "E6": (count_naive_worker, count_batched_worker,
-           count_vectorized_worker),
+           count_vectorized_worker, count_minimized_worker),
 }
 
 #: Minimum batched-over-vectorized speedup per experiment (full mode).
@@ -139,6 +180,14 @@ VECTORIZED_THRESHOLDS = {"E1": 0.9, "E6": 3.0}
 #: In smoke mode (tiny grid, one repeat) only guard against the kernel
 #: being meaningfully slower; absolute times are sub-millisecond noise.
 VECTORIZED_SMOKE_THRESHOLD = 0.8
+#: Minimum batched-over-minimized speedup (full mode).  E6's
+#: triangle-assignment kernel collapses ~74% of its reachable states, so
+#: minimization must pay for its canonicalization lookups several times
+#: over; E1's h-freeness kernel is already small, so parity suffices.
+MINIMIZED_THRESHOLDS = {"E1": 0.9, "E6": 1.5}
+MINIMIZED_SMOKE_THRESHOLD = 0.8
+#: Minimum reachable-to-minimized state reduction (full mode, E6).
+REDUCTION_THRESHOLD = 0.30
 
 
 def _grid(smoke):
@@ -158,18 +207,24 @@ def _timed_sweep(worker, grid, repeats):
 
 
 def run_experiment(name, grid, repeats):
-    naive_worker, batched_worker, vectorized_worker = EXPERIMENTS[name]
+    (naive_worker, batched_worker,
+     vectorized_worker, minimized_worker) = EXPERIMENTS[name]
     # Pre-warm the cache: one compile + one throwaway run per engine,
     # exactly what a prior process would have left on disk (the
-    # vectorized warm-up also populates the kernel's dense tables).
+    # vectorized warm-up also populates the kernel's dense tables, the
+    # minimized warm-up additionally memoizes the quotient map).
     _timed_sweep(batched_worker, grid[:1], 1)
     _timed_sweep(vectorized_worker, grid[:1], 1)
+    _timed_sweep(minimized_worker, grid[:1], 1)
     naive_seconds, naive_results = _timed_sweep(naive_worker, grid, repeats)
     batched_seconds, batched_results = _timed_sweep(
         batched_worker, grid, repeats
     )
     vectorized_seconds, vectorized_results = _timed_sweep(
         vectorized_worker, grid, repeats
+    )
+    minimized_seconds, minimized_results = _timed_sweep(
+        minimized_worker, grid, repeats
     )
     for mode, results in (("batched", batched_results),
                           ("vectorized", vectorized_results)):
@@ -179,16 +234,33 @@ def run_experiment(name, grid, repeats):
                     f"{name}: {mode} mode changed the answer at "
                     f"{a.shard.params!r}: {a.value!r} != {b.value!r}"
                 )
+    # Minimization changes the transcript (rounds), never the answer.
+    for a, b in zip(naive_results, minimized_results):
+        if a.value["verdict"] != b.value["verdict"]:
+            raise SystemExit(
+                f"{name}: minimized mode changed the answer at "
+                f"{a.shard.params!r}: {a.value['verdict']!r} != "
+                f"{b.value['verdict']!r}"
+            )
+    stats = _minimize_stats(name, grid[0]["d"])
     return {
         "grid": [dict(point) for point in grid],
         "repeats": repeats,
         "naive_seconds": round(naive_seconds, 4),
         "batched_seconds": round(batched_seconds, 4),
         "vectorized_seconds": round(vectorized_seconds, 4),
+        "minimized_seconds": round(minimized_seconds, 4),
         "speedup": round(naive_seconds / batched_seconds, 2),
         "vectorized_speedup": round(
             batched_seconds / vectorized_seconds, 2
         ),
+        "minimized_speedup": round(
+            batched_seconds / minimized_seconds, 2
+        ),
+        "states_total": stats.states_total if stats else 0,
+        "states_reachable": stats.states_reachable if stats else 0,
+        "states_minimized": stats.states_minimized if stats else 0,
+        "state_reduction": round(stats.reduction, 4) if stats else 0.0,
         "checks": [r.value for r in naive_results],
     }
 
@@ -216,6 +288,10 @@ def main(argv=None):
             VECTORIZED_SMOKE_THRESHOLD if args.smoke
             else dict(VECTORIZED_THRESHOLDS)
         ),
+        "threshold_minimized": (
+            MINIMIZED_SMOKE_THRESHOLD if args.smoke
+            else dict(MINIMIZED_THRESHOLDS)
+        ),
         "experiments": {},
     }
     failed = []
@@ -226,8 +302,17 @@ def main(argv=None):
             VECTORIZED_SMOKE_THRESHOLD if args.smoke
             else VECTORIZED_THRESHOLDS[name]
         )
+        min_threshold = (
+            MINIMIZED_SMOKE_THRESHOLD if args.smoke
+            else MINIMIZED_THRESHOLDS[name]
+        )
         slow = (result["speedup"] < threshold
-                or result["vectorized_speedup"] < vec_threshold)
+                or result["vectorized_speedup"] < vec_threshold
+                or result["minimized_speedup"] < min_threshold)
+        # The state-heavy counting experiment must also actually shrink.
+        if (name == "E6" and not args.smoke
+                and result["state_reduction"] < REDUCTION_THRESHOLD):
+            slow = True
         if slow:
             failed.append(name)
         status = "SLOW" if slow else "ok"
@@ -236,7 +321,12 @@ def main(argv=None):
               f"(speedup {result['speedup']}x, need >= {threshold}x), "
               f"vectorized {result['vectorized_seconds']}s "
               f"(speedup {result['vectorized_speedup']}x, need >= "
-              f"{vec_threshold}x) [{status}]")
+              f"{vec_threshold}x), "
+              f"minimized {result['minimized_seconds']}s "
+              f"(speedup {result['minimized_speedup']}x, need >= "
+              f"{min_threshold}x; states "
+              f"{result['states_reachable']}->{result['states_minimized']}) "
+              f"[{status}]")
 
     if not args.smoke or args.out:
         out = args.out or os.path.join(REPO_ROOT, "BENCH_engine.json")

@@ -45,7 +45,11 @@ from .compiler import compile_formula, compile_with_singletons
 #: Bump to invalidate every on-disk entry after a format/semantics change.
 #: 2: entries may carry a pickled TabulatedAutomaton kernel (see
 #: :mod:`repro.algebra.tables`) riding on the automaton.
-CACHE_VERSION = 2
+#: 3: entries may carry minimized-kernel wrappers (quotient maps plus
+#: before/after state counts, see :mod:`repro.algebra.minimize`) keyed
+#: per ``(d, labels)`` on the automaton; memoized budget fallbacks ride
+#: along so a failed closure is never retried in a later process.
+CACHE_VERSION = 3
 
 __all__ = [
     "CACHE_VERSION",
@@ -217,21 +221,37 @@ def _table_entries(automaton: TreeAutomaton) -> int:
 
     Includes the dense integer tables of an attached
     :class:`~repro.algebra.tables.TabulatedAutomaton` kernel (stored on
-    the automaton by :func:`~repro.algebra.tables.tabulated`), so
+    the automaton by :func:`~repro.algebra.tables.tabulated`) and the
+    quotient maps / op caches of any minimized variants (stored by
+    :func:`~repro.algebra.minimize.minimized_automaton`), so
     ``save_warm`` re-persists entries whose *kernel* warmed even when the
-    state-level caches did not grow.
+    state-level caches did not grow.  Memoized minimization fallbacks
+    count as one entry each — persisting them is what stops the next
+    process from re-running a doomed closure.
     """
     total = 0
-    for component in _component_automata(automaton):
-        total += (
-            len(component._leaf_cache)
-            + len(component._glue_cache)
-            + len(component._forget_cache)
-            + len(component._intern)
+
+    def op_caches(aut: TreeAutomaton) -> int:
+        return (
+            len(aut._leaf_cache)
+            + len(aut._glue_cache)
+            + len(aut._forget_cache)
+            + len(aut._intern)
         )
-        wrapper = getattr(component, "_tabulated_wrapper", None)
-        if wrapper is not None:
-            total += wrapper.table_entries()
+
+    def kernel(aut: TreeAutomaton) -> int:
+        wrapper = getattr(aut, "_tabulated_wrapper", None)
+        return wrapper.table_entries() if wrapper is not None else 0
+
+    for component in _component_automata(automaton):
+        total += op_caches(component) + kernel(component)
+        for minimized in getattr(component, "_minimized_variants", {}).values():
+            total += 1  # the memoized variant itself (None = fallback)
+            if minimized is not None:
+                total += op_caches(minimized) + kernel(minimized)
+                total += sum(
+                    len(table) for table in minimized._quotient.values()
+                )
     return total
 
 
@@ -404,6 +424,63 @@ class AutomatonCache:
                 self._loaded_entries[key] = size
                 written += 1
         return written
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate statistics backing ``repro cache stats``.
+
+        Covers the in-memory entries (with per-entry table sizes and the
+        state counts of any minimized variants), the on-disk footprint,
+        and this instance's hit/miss/disk-load counters.  Registry-level
+        counters aggregate across *all* caches in the process; these are
+        per instance.
+        """
+        disk_entries = 0
+        disk_bytes = 0
+        if self.persist:
+            try:
+                for path in self.directory.glob("*.pkl"):
+                    try:
+                        disk_bytes += path.stat().st_size
+                        disk_entries += 1
+                    except OSError:
+                        pass
+            except OSError:
+                pass
+        entries = []
+        for key in sorted(self._memory):
+            automaton = self._memory[key][0]
+            minimized = []
+            variants = getattr(automaton, "_minimized_variants", {})
+            for (vd, vlabels), wrapper in sorted(variants.items()):
+                info: Dict[str, Any] = {
+                    "d": vd,
+                    "labels": list(vlabels),
+                    "fallback": wrapper is None,
+                }
+                if wrapper is not None:
+                    info.update(
+                        states_total=wrapper.stats.states_total,
+                        states_reachable=wrapper.stats.states_reachable,
+                        states_minimized=wrapper.stats.states_minimized,
+                    )
+                minimized.append(info)
+            entries.append({
+                "key": key,
+                "table_entries": _table_entries(automaton),
+                "minimized": minimized,
+            })
+        return {
+            "directory": str(self.directory),
+            "persist": self.persist,
+            "memory_entries": len(self._memory),
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_loads": self.disk_loads,
+            "entries": entries,
+        }
 
     # -- invalidation ---------------------------------------------------
     def invalidate(

@@ -22,9 +22,9 @@ A session compiles formulas through the process-wide
 :class:`~repro.algebra.cache.AutomatonCache` (transition tables and class
 ids persist across processes) and runs protocols on the batched engine by
 default — both differentially identical to the cold, naive baseline.
-The legacy entry points (``repro.distributed.decide``,
-``optimize_distributed``, ``count_distributed``) still work but emit
-``DeprecationWarning`` pointing here.
+The legacy PR-4 entry points (``repro.distributed.decide``,
+``optimize_distributed``, ``count_distributed``) are gone; every caller
+goes through a Session or a ``*_pipeline`` function.
 """
 
 from __future__ import annotations
@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple, Union
 
 from .algebra.cache import AutomatonCache, default_cache
+from .algebra.minimize import minimization_stats
 from .certification import prove, verify
 from .distributed.counting import count_pipeline
 from .distributed.model_checking import decide_pipeline
@@ -127,6 +128,7 @@ class _Observation:
         wall = time.perf_counter() - self._started
         session = self.session
         cache = session.cache
+        states = fields.pop("states", None)
         cache_delta = {
             "hits": cache.hits - self._cache_before[0],
             "misses": cache.misses - self._cache_before[1],
@@ -154,6 +156,9 @@ class _Observation:
             cache=cache_delta,
             replay=session._replay_json(),
             wall_seconds=wall,
+            states_total=states.states_total if states else 0,
+            states_reachable=states.states_reachable if states else 0,
+            states_minimized=states.states_minimized if states else 0,
         )
         if session.record:
             store = RunStore(
@@ -195,6 +200,12 @@ class Session:
     engine:
         ``"batched"`` (default) or ``"naive"`` — differentially identical
         schedulers; batched is the fast one.
+    minimize:
+        ``False`` opts out of the kernel state-space reduction passes
+        (:mod:`repro.algebra.minimize`).  The default ``None`` applies
+        them on every engine; when they succeed the per-workload
+        :class:`~repro.obs.reports.RunReport` carries the before/after
+        state counts.
     cache:
         An :class:`~repro.algebra.cache.AutomatonCache`; defaults to the
         process-wide persistent cache.  Compiled automata and class ids
@@ -219,6 +230,7 @@ class Session:
         inbox_order: Optional[str] = None,
         budget: Optional[int] = None,
         engine: Optional[str] = None,
+        minimize: Optional[bool] = None,
         cache: Optional[AutomatonCache] = None,
         record: Union[bool, str, None] = False,
         config: Optional[RunConfig] = None,
@@ -232,6 +244,7 @@ class Session:
             inbox_order=inbox_order,
             budget=budget,
             engine=engine,
+            minimize=minimize,
             cache=cache,
         )
         self.graph = graph
@@ -242,6 +255,7 @@ class Session:
         self.inbox_order = self.config.inbox_order
         self.budget = self.config.budget
         self.engine = self.config.engine
+        self.minimize = self.config.minimize
         self.cache = (
             self.config.cache if self.config.cache is not None
             else default_cache()
@@ -318,6 +332,22 @@ class Session:
             trace=self.tracer, codec=codec, cache=None
         )
 
+    def _minimize_stats(self, automaton: Any, out: Any) -> Optional[Any]:
+        """The state-reduction counts of the pipeline call that just ran.
+
+        Peek-only, and gated on the pipeline's own ``minimized`` flag:
+        when minimization is off, the budgeted passes fell back to the
+        raw kernel, or the recovered elimination forest was deeper than
+        the closure (so the run bypassed the wrapper), there is nothing
+        to report — even if an earlier run on another graph warmed the
+        memo.
+        """
+        if not getattr(out, "minimized", False):
+            return None
+        return minimization_stats(
+            automaton, d=self.d, labels=self._labels()
+        )
+
     # -- workloads -------------------------------------------------------
 
     def decide(self, phi: Union[Formula, str]) -> Result:
@@ -347,6 +377,7 @@ class Session:
                     "elimination": out.elimination_rounds,
                     "checking": out.checking_rounds,
                 },
+                states=self._minimize_stats(automaton, out),
             )
 
     def optimize(
@@ -405,6 +436,7 @@ class Session:
                     "elimination": out.elimination_rounds,
                     "optimization": out.optimization_rounds,
                 },
+                states=self._minimize_stats(automaton, out),
             )
 
     def count(self, phi: Union[Formula, str]) -> Result:
@@ -435,6 +467,7 @@ class Session:
                     "elimination": out.elimination_rounds,
                     "counting": out.counting_rounds,
                 },
+                states=self._minimize_stats(automaton, out),
             )
 
     def certify(self, phi: Union[Formula, str]) -> Result:

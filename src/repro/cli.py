@@ -14,6 +14,7 @@ Commands
 ``lint``      CONGEST-conformance static analysis of node programs
 ``report``    list / render / diff persisted RunReports
 ``bench``     gate fresh benchmark results against committed baselines
+``cache``     automaton-cache statistics (entries, bytes, state counts)
 
 Graphs are given either as a generator spec (``path:20``, ``cycle:8``,
 ``grid:4x6``, ``clique:5``, ``star:7``, ``bounded:24:3:0.5:42`` for
@@ -572,6 +573,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .algebra.cache import default_cache
+    from .obs.registry import registry
+
+    cache = default_cache()
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True, default=repr))
+        return 0
+    print(f"automaton cache: {stats['directory']} "
+          f"(persist={'on' if stats['persist'] else 'off'})")
+    print(f"  entries: {stats['memory_entries']} in memory, "
+          f"{stats['disk_entries']} on disk "
+          f"({stats['disk_bytes']} bytes)")
+    print(f"  counters: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['disk_loads']} disk loads")
+    fallbacks = registry().counter(
+        "repro_minimize_fallback_total",
+        "Minimization attempts that fell back to the raw automaton.",
+    ).total()
+    print(f"  minimize fallbacks (process-wide): {int(fallbacks)}")
+    for entry in stats["entries"]:
+        print(f"  - {entry['key']!r}: "
+              f"{entry['table_entries']} table entries")
+        for info in entry["minimized"]:
+            labels = ",".join(info["labels"]) or "-"
+            if info["fallback"]:
+                print(f"      minimized d={info['d']} labels={labels}: "
+                      "fallback (budget exceeded)")
+            else:
+                print(f"      minimized d={info['d']} labels={labels}: "
+                      f"{info['states_total']} states, "
+                      f"{info['states_reachable']} reachable, "
+                      f"{info['states_minimized']} after quotient")
+    return 0
+
+
 def _cmd_catalog(_args: argparse.Namespace) -> int:
     print("decision formulas:")
     for name in sorted(_CATALOG):
@@ -849,6 +887,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also gate raw seconds within this relative "
                           "tolerance (off by default: machine-dependent)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="automaton cache introspection",
+        description="Statistics for the process-wide persistent "
+        "AutomatonCache: entry and on-disk byte counts, per-entry "
+        "transition-table sizes, minimized-kernel state counts, and "
+        "hit/miss/disk-load counters.",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_cmd", required=True)
+    p_cstats = cache_sub.add_parser("stats", help="print cache statistics")
+    p_cstats.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -1,10 +1,8 @@
 """The paper's distributed protocols (Algorithm 2, Theorem 6.1, §6-7).
 
 The deprecated PR-4 aliases (``decide``, ``optimize_distributed``,
-``count_distributed``) are no longer exported here; import them from
-their defining modules if you must, or better, migrate to
-:class:`repro.api.Session` / the ``*_pipeline`` functions (see
-``docs/api.md``).
+``count_distributed``) are gone; use :class:`repro.api.Session` or the
+``*_pipeline`` functions (see ``docs/api.md``).
 """
 
 from .baselines import BaselineDecision, gather_decide

@@ -27,8 +27,11 @@ from .model_checking import (
     PIPELINE_DEFAULTS,
     ClassCodec,
     _IdCodec,
+    elimination_forest_depth,
     engine_automaton,
+    graph_label_alphabet,
     local_base_symbol,
+    minimization_stats,
     node_inputs_from_elimination,
     resolve_tracer,
 )
@@ -173,6 +176,7 @@ class DistributedCount:
     max_message_bits: int
     num_classes: int
     total_messages: int = 0
+    minimized: bool = False
 
 
 def count_pipeline(
@@ -186,6 +190,7 @@ def count_pipeline(
     faults=None,
     retry=None,
     engine: Optional[str] = None,
+    minimize: Optional[bool] = None,
     codec: Optional[ClassCodec] = None,
     config: Optional[RunConfig] = None,
 ) -> DistributedCount:
@@ -209,6 +214,7 @@ def count_pipeline(
         faults=faults,
         retry=retry,
         engine=engine,
+        minimize=minimize,
         codec=codec,
     )
     tracer = resolve_tracer(cfg.trace)
@@ -236,7 +242,20 @@ def count_pipeline(
         )
     inputs = node_inputs_from_elimination(graph, elim)
     codec = cfg.codec if cfg.codec is not None else ClassCodec(automaton)
-    program = counting_program(engine_automaton(automaton, cfg.engine), codec)
+    labels = graph_label_alphabet(graph)
+    forest_depth = elimination_forest_depth(elim)
+    program = counting_program(
+        engine_automaton(
+            automaton, cfg.engine,
+            minimize=cfg.minimize_enabled, d=d,
+            labels=labels, forest_depth=forest_depth,
+        ),
+        codec,
+    )
+    minimized = (
+        cfg.minimize_enabled and forest_depth <= d
+        and minimization_stats(automaton, d=d, labels=labels) is not None
+    )
     run_budget = cfg.budget
     max_rounds = 500_000
     if cfg.retry is not None:
@@ -279,23 +298,6 @@ def count_pipeline(
         max_message_bits=max(elim.max_message_bits, result.metrics.max_message_bits),
         num_classes=codec.num_classes,
         total_messages=elim.total_messages + result.metrics.total_messages,
+        minimized=minimized,
     )
 
-
-def count_distributed(*args, **kwargs) -> DistributedCount:
-    """Deprecated alias of :func:`count_pipeline`.
-
-    .. deprecated:: 1.0
-        Use :class:`repro.api.Session` (``Session(graph, d).count(phi)``)
-        or :func:`count_pipeline` directly.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.distributed.count_distributed is deprecated; use "
-        "repro.api.Session(graph, d).count(phi) or "
-        "repro.distributed.count_pipeline",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return count_pipeline(*args, **kwargs)

@@ -27,6 +27,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..algebra import TreeAutomaton
+from ..algebra.minimize import (
+    graph_label_alphabet,
+    minimization_stats,
+    minimized_automaton,
+)
 from ..algebra.symbols import BaseStructure, BaseSymbol
 from ..algebra.tables import TabulatedAutomaton, tabulated
 from ..congest import Inbox, NodeContext, default_budget, node_program, run_protocol
@@ -34,6 +39,7 @@ from ..errors import FaultToleranceExceeded, ProtocolError
 from ..graph import Graph, Vertex, canonical_edge
 from ..mso import syntax as sx
 from ..obs import Tracer, maybe_phase
+from ..obs.registry import registry as _registry
 from ..runconfig import RunConfig, resolve_tracer
 from .elimination import DistributedEliminationResult, build_elimination_tree
 
@@ -41,17 +47,64 @@ from .elimination import DistributedEliminationResult, build_elimination_tree
 PIPELINE_DEFAULTS = {"engine": "naive"}
 
 
-def engine_automaton(automaton: TreeAutomaton, engine: str) -> TreeAutomaton:
+def elimination_forest_depth(elim: "DistributedEliminationResult") -> int:
+    """The deepest node of the recovered elimination forest.
+
+    Algorithm 2 proves treedepth ``<= d`` with a forest up to
+    ``2^d - 1`` deep (the paper's ``D``) — the recovered depth, not the
+    promise, is what bounds the boundary levels a run touches.
+    """
+    return max((out.depth for out in elim.outputs.values()), default=0)
+
+
+def engine_automaton(
+    automaton: TreeAutomaton,
+    engine: str,
+    *,
+    minimize: bool = False,
+    d: Optional[int] = None,
+    labels: Tuple[str, ...] = (),
+    forest_depth: Optional[int] = None,
+) -> TreeAutomaton:
     """The automaton a node program should evaluate under ``engine``.
 
-    ``vectorized`` swaps in the shared :class:`TabulatedAutomaton` kernel
-    for the same automaton — value-identical transitions, so the CONGEST
-    layer cannot tell the difference; the other engines run the compiled
-    automaton as-is.
+    With ``minimize`` (and a depth bound ``d``), the state-space
+    reduction passes of :mod:`repro.algebra.minimize` are applied first:
+    every transition lands on its equivalence-class representative, so
+    all engines — and hence all CONGEST transcripts — see the same
+    canonical states and the wire format stays byte-identical across
+    engines.  A blown minimization budget silently falls back to the
+    unminimized automaton (the fallback is memoized and counted in the
+    metrics registry).
+
+    ``forest_depth`` is the recovered elimination forest's depth
+    (:func:`elimination_forest_depth`); the quotient closure only covers
+    boundary levels ``0..d``, so a deeper forest — Algorithm 2 admits up
+    to ``2^d - 1`` — bypasses the wrapper (counted in
+    ``repro_minimize_depth_bypass_total``): its runs glue against
+    partner values the refinement never saw, and applying the quotient
+    there can change answers.
+
+    ``vectorized`` additionally swaps in the shared
+    :class:`TabulatedAutomaton` kernel — value-identical transitions, so
+    the CONGEST layer cannot tell the difference; the other engines run
+    the (possibly minimized) automaton as-is.
     """
+    base = automaton
+    if minimize and d is not None:
+        if forest_depth is not None and forest_depth > d:
+            _registry().counter(
+                "repro_minimize_depth_bypass_total",
+                "Runs whose elimination forest outgrew the minimization "
+                "closure.",
+            ).inc()
+        else:
+            wrapper = minimized_automaton(automaton, d=d, labels=labels)
+            if wrapper is not None:
+                base = wrapper
     if engine == "vectorized":
-        return tabulated(automaton)
-    return automaton
+        return tabulated(base)
+    return base
 
 
 class _IdCodec:
@@ -222,6 +275,7 @@ class DistributedDecision:
     max_message_bits: int
     num_classes: int
     total_messages: int = 0
+    minimized: bool = False
 
 
 def node_inputs_from_elimination(
@@ -289,6 +343,7 @@ def decide_pipeline(
     faults=None,
     retry=None,
     engine: Optional[str] = None,
+    minimize: Optional[bool] = None,
     codec: Optional[ClassCodec] = None,
     config: Optional[RunConfig] = None,
 ) -> DistributedDecision:
@@ -324,6 +379,7 @@ def decide_pipeline(
         faults=faults,
         retry=retry,
         engine=engine,
+        minimize=minimize,
         codec=codec,
     )
     tracer = resolve_tracer(cfg.trace)
@@ -352,8 +408,20 @@ def decide_pipeline(
     scope = formula_automaton.scope
     inputs = node_inputs_from_elimination(graph, elim, assignment, scope)
     codec = cfg.codec if cfg.codec is not None else ClassCodec(formula_automaton)
+    labels = graph_label_alphabet(graph)
+    forest_depth = elimination_forest_depth(elim)
     program = decision_program(
-        engine_automaton(formula_automaton, cfg.engine), codec
+        engine_automaton(
+            formula_automaton, cfg.engine,
+            minimize=cfg.minimize_enabled, d=d,
+            labels=labels, forest_depth=forest_depth,
+        ),
+        codec,
+    )
+    minimized = (
+        cfg.minimize_enabled and forest_depth <= d
+        and minimization_stats(formula_automaton, d=d, labels=labels)
+        is not None
     )
     run_budget = cfg.budget if cfg.budget is not None else default_budget(
         graph.num_vertices()
@@ -397,23 +465,5 @@ def decide_pipeline(
         max_message_bits=max(elim.max_message_bits, result.metrics.max_message_bits),
         num_classes=codec.num_classes,
         total_messages=elim.total_messages + result.metrics.total_messages,
+        minimized=minimized,
     )
-
-
-def decide(*args: Any, **kwargs: Any) -> DistributedDecision:
-    """Deprecated alias of :func:`decide_pipeline`.
-
-    .. deprecated:: 1.0
-        Use :class:`repro.api.Session` (``Session(graph, d).decide(phi)``)
-        or :func:`decide_pipeline` directly.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.distributed.decide is deprecated; use "
-        "repro.api.Session(graph, d).decide(phi) or "
-        "repro.distributed.decide_pipeline",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return decide_pipeline(*args, **kwargs)

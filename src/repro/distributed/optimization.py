@@ -35,8 +35,11 @@ from .model_checking import (
     PIPELINE_DEFAULTS,
     ClassCodec,
     _IdCodec,
+    elimination_forest_depth,
     engine_automaton,
+    graph_label_alphabet,
     local_base_symbol,
+    minimization_stats,
     node_inputs_from_elimination,
     resolve_tracer,
 )
@@ -266,6 +269,7 @@ class DistributedOptimization:
     max_message_bits: int
     num_classes: int
     total_messages: int = 0
+    minimized: bool = False
 
 
 def optimize_pipeline(
@@ -280,6 +284,7 @@ def optimize_pipeline(
     faults=None,
     retry=None,
     engine: Optional[str] = None,
+    minimize: Optional[bool] = None,
     codec: Optional[ClassCodec] = None,
     config: Optional[RunConfig] = None,
 ) -> DistributedOptimization:
@@ -305,6 +310,7 @@ def optimize_pipeline(
         faults=faults,
         retry=retry,
         engine=engine,
+        minimize=minimize,
         codec=codec,
     )
     tracer = resolve_tracer(cfg.trace)
@@ -334,8 +340,20 @@ def optimize_pipeline(
         )
     inputs = node_inputs_from_elimination(graph, elim)
     codec = cfg.codec if cfg.codec is not None else ClassCodec(automaton)
+    labels = graph_label_alphabet(graph)
+    forest_depth = elimination_forest_depth(elim)
     program = optimization_program(
-        engine_automaton(automaton, cfg.engine), codec, maximize
+        engine_automaton(
+            automaton, cfg.engine,
+            minimize=cfg.minimize_enabled, d=d,
+            labels=labels, forest_depth=forest_depth,
+        ),
+        codec,
+        maximize,
+    )
+    minimized = (
+        cfg.minimize_enabled and forest_depth <= d
+        and minimization_stats(automaton, d=d, labels=labels) is not None
     )
     run_budget = cfg.budget
     max_rounds = 500_000  # runaway guard only; progression is data-driven
@@ -393,24 +411,6 @@ def optimize_pipeline(
         max_message_bits=max(elim.max_message_bits, result.metrics.max_message_bits),
         num_classes=codec.num_classes,
         total_messages=elim.total_messages + result.metrics.total_messages,
+        minimized=minimized,
     )
 
-
-def optimize_distributed(*args, **kwargs) -> DistributedOptimization:
-    """Deprecated alias of :func:`optimize_pipeline`.
-
-    .. deprecated:: 1.0
-        Use :class:`repro.api.Session`
-        (``Session(graph, d).optimize(phi, sense="max")``) or
-        :func:`optimize_pipeline` directly.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.distributed.optimize_distributed is deprecated; use "
-        "repro.api.Session(graph, d).optimize(phi) or "
-        "repro.distributed.optimize_pipeline",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return optimize_pipeline(*args, **kwargs)

@@ -42,7 +42,9 @@ def resolve_tracer(trace: Any) -> Optional[Any]:
     return current_tracer()
 
 #: The replayable subset of fields, in their canonical JSON order.
-REPLAY_FIELDS = ("seed", "inbox_order", "faults", "retry", "budget", "engine")
+REPLAY_FIELDS = (
+    "seed", "inbox_order", "faults", "retry", "budget", "engine", "minimize"
+)
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,10 @@ class RunConfig:
     * ``faults`` / ``retry`` — a :class:`repro.faults.FaultPlan`
       adversary and :class:`repro.faults.RetryPolicy` reliability layer;
     * ``budget`` — per-edge per-round bit budget override;
+    * ``minimize`` — ``False`` opts out of the state-space reduction
+      passes of :mod:`repro.algebra.minimize`; ``None`` (the default)
+      means minimize on every engine, which keeps CONGEST transcripts
+      byte-identical across engines (see ``docs/engines.md``);
     * ``trace`` — ``True`` for a fresh :class:`repro.obs.Tracer`, or a
       Tracer instance to record into;
     * ``cache`` — an :class:`repro.algebra.cache.AutomatonCache`
@@ -72,6 +78,7 @@ class RunConfig:
     faults: Optional[Any] = None
     retry: Optional[Any] = None
     budget: Optional[int] = None
+    minimize: Optional[bool] = None
     trace: Any = None
     cache: Optional[Any] = None
     codec: Optional[Any] = None
@@ -83,6 +90,11 @@ class RunConfig:
             raise ReproError(
                 f"unknown inbox order {self.inbox_order!r}; "
                 f"choose from {INBOX_ORDERS}"
+            )
+        if self.minimize not in (None, True, False):
+            raise ReproError(
+                f"minimize must be True, False or None, "
+                f"not {self.minimize!r}"
             )
 
     # -- construction ----------------------------------------------------
@@ -133,6 +145,16 @@ class RunConfig:
     def with_overrides(self, **overrides: Any) -> "RunConfig":
         """A copy with ``overrides`` applied (re-validated)."""
         return replace(self, **overrides)
+
+    @property
+    def minimize_enabled(self) -> bool:
+        """Whether the state-space reduction passes apply to this run.
+
+        ``None`` (auto) resolves to ``True`` for every engine: enabling
+        minimization per engine would break the cross-engine
+        byte-identity contract the testkit enforces.
+        """
+        return self.minimize is not False
 
     # -- replay serialization ---------------------------------------------
 

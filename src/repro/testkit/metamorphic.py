@@ -180,30 +180,38 @@ def engine_equivalence_relation(
     Beyond agreeing on the answer, the two engines must produce the
     same CONGEST transcript signature — rounds, messages, payload
     bits, and class count — because the vectorized kernel only changes
-    *local* computation, never what goes on the wire.
+    *local* computation, never what goes on the wire.  The grid covers
+    both minimization settings: the state-space reduction passes of
+    :mod:`repro.algebra.minimize` rewrite states locally too, so within
+    each ``minimize`` cell every engine must stay on the same bytes
+    (minimize on-vs-off may legitimately change the transcript — it is
+    a run-configuration change, recorded in the replay args).
     """
     expected = _expected_fields(case, ref)
-    cells = {}
-    for engine in ("batched", "vectorized"):
-        session = Session(
-            case.graph, case.d, seed=case.seed, engine=engine, cache=cache,
-        )
-        cells[engine] = _run_cell(case, session)
     found: List[Discrepancy] = []
-    got = _outcome_fields(case, cells["vectorized"])
-    if got != expected:
-        found.append(Discrepancy(
-            case.case_id, "metamorphic-engine",
-            f"vectorized engine answered {got!r} instead of {expected!r}",
-            note=case.note,
-        ))
-    sig = {e: _byte_signature(r) for e, r in cells.items()}
-    if sig["vectorized"] != sig["batched"]:
-        found.append(Discrepancy(
-            case.case_id, "metamorphic-engine-bytes",
-            f"vectorized signature {sig['vectorized']!r} != "
-            f"batched {sig['batched']!r}", note=case.note,
-        ))
+    for minimize in (False, True):
+        cells = {}
+        for engine in ("batched", "vectorized"):
+            session = Session(
+                case.graph, case.d, seed=case.seed, engine=engine,
+                minimize=minimize, cache=cache,
+            )
+            cells[engine] = _run_cell(case, session)
+        got = _outcome_fields(case, cells["vectorized"])
+        if got != expected:
+            found.append(Discrepancy(
+                case.case_id, "metamorphic-engine",
+                f"vectorized engine (minimize={minimize}) answered "
+                f"{got!r} instead of {expected!r}", note=case.note,
+            ))
+        sig = {e: _byte_signature(r) for e, r in cells.items()}
+        if sig["vectorized"] != sig["batched"]:
+            found.append(Discrepancy(
+                case.case_id, "metamorphic-engine-bytes",
+                f"minimize={minimize}: vectorized signature "
+                f"{sig['vectorized']!r} != batched {sig['batched']!r}",
+                note=case.note,
+            ))
     return found
 
 

@@ -180,3 +180,51 @@ def test_cached_compile_uses_default_cache(tmp_path):
         assert default_cache().hits == 1
     finally:
         set_default_cache(previous)
+
+
+# -- stats ------------------------------------------------------------------
+
+def test_stats_reports_entries_counters_and_state_counts(tmp_path, network):
+    cache, _ = _warmed_cache(tmp_path, network)
+    Session(network, d=3, cache=cache).decide(formulas.acyclic())
+    stats = cache.stats()
+    assert stats["directory"] == str(tmp_path)
+    assert stats["persist"] is True
+    assert stats["memory_entries"] == 2
+    assert stats["disk_entries"] >= 1
+    assert stats["disk_bytes"] > 0
+    assert stats["misses"] == 2
+    assert len(stats["entries"]) == 2
+    assert all(e["table_entries"] > 0 for e in stats["entries"])
+    minimized = [
+        info for entry in stats["entries"] for info in entry["minimized"]
+    ]
+    # acyclic minimizes within budget at d=3; triangle_free falls back.
+    assert any(
+        not info["fallback"]
+        and 0 < info["states_minimized"] < info["states_reachable"]
+        for info in minimized
+    )
+    assert any(info["fallback"] for info in minimized)
+
+
+def test_stats_counts_disk_footprint_only_when_persisting(network):
+    cache = AutomatonCache(persist=False)
+    Session(network, d=3, cache=cache).decide(formulas.acyclic())
+    stats = cache.stats()
+    assert stats["persist"] is False
+    assert stats["disk_entries"] == 0
+    assert stats["disk_bytes"] == 0
+    assert stats["memory_entries"] == 1
+
+
+def test_cache_stats_cli(tmp_path, network, monkeypatch, capsys):
+    from repro.cli import main
+
+    _warmed_cache(tmp_path / "cli", network)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli"))
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "automaton cache:" in out
+    assert "on disk" in out
+    assert "hits" in out
